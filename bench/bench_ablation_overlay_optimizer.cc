@@ -1,0 +1,73 @@
+// Ablation abl-opt (DESIGN.md): dissemination-tree quality under the
+// cost-driven local reorganization of §3.2 — random spanning tree vs. the
+// MST the paper's evaluation uses vs. optimizer-improved trees, under a
+// flow-weighted delay cost.
+
+#include <cstdio>
+
+#include "overlay/optimizer.h"
+#include "overlay/spanning_tree.h"
+#include "overlay/topology.h"
+
+using namespace cosmos;
+
+int main(int argc, char** argv) {
+  int num_nodes = argc > 1 ? std::atoi(argv[1]) : 80;
+  int num_flows = argc > 2 ? std::atoi(argv[2]) : 60;
+  int reps = argc > 3 ? std::atoi(argv[3]) : 5;
+
+  std::printf("# Ablation: overlay optimizer (%d nodes, %d flows, %d reps)\n",
+              num_nodes, num_flows, reps);
+  std::printf("%-12s %14s %14s %14s %14s\n", "rep", "random", "mst",
+              "opt(random)", "opt(mst)");
+
+  double sum_random = 0, sum_mst = 0, sum_opt_r = 0, sum_opt_m = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    TopologyOptions opts;
+    opts.num_nodes = num_nodes;
+    opts.ba_edges_per_node = 3;
+    opts.seed = 1000 + rep;
+    Topology topo = GenerateBarabasiAlbert(opts);
+
+    Rng rng(500 + rep);
+    std::vector<Flow> flows;
+    for (int i = 0; i < num_flows; ++i) {
+      Flow f;
+      f.source = static_cast<NodeId>(rng.NextBounded(8));
+      f.sink = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      f.rate_bps = rng.NextDouble(100.0, 5000.0);
+      flows.push_back(f);
+    }
+
+    OverlayOptimizer optimizer(topo.graph);
+    auto random_tree =
+        DisseminationTree::FromEdges(
+            num_nodes, *RandomSpanningTree(topo.graph, rng))
+            .value();
+    auto mst = DisseminationTree::FromEdges(
+                   num_nodes, *MinimumSpanningTree(topo.graph))
+                   .value();
+
+    double c_random = optimizer.TreeCost(random_tree, flows);
+    double c_mst = optimizer.TreeCost(mst, flows);
+    double c_opt_r =
+        optimizer.TreeCost(*optimizer.Optimize(random_tree, flows), flows);
+    double c_opt_m =
+        optimizer.TreeCost(*optimizer.Optimize(mst, flows), flows);
+
+    std::printf("%-12d %14.0f %14.0f %14.0f %14.0f\n", rep, c_random, c_mst,
+                c_opt_r, c_opt_m);
+    sum_random += c_random;
+    sum_mst += c_mst;
+    sum_opt_r += c_opt_r;
+    sum_opt_m += c_opt_m;
+  }
+  std::printf("%-12s %14.0f %14.0f %14.0f %14.0f\n", "mean",
+              sum_random / reps, sum_mst / reps, sum_opt_r / reps,
+              sum_opt_m / reps);
+  std::printf("\noptimizing the random tree recovers %.1f%% of its gap to "
+              "the optimized MST\n",
+              100.0 * (sum_random - sum_opt_r) /
+                  std::max(1.0, sum_random - sum_opt_m));
+  return sum_opt_r <= sum_random && sum_opt_m <= sum_mst ? 0 : 1;
+}

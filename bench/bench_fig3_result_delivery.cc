@@ -1,0 +1,118 @@
+// Reproduces the Figure 3 experiment: result-stream delivery for the
+// Table 1 auction queries q1 (3h) and q2 (5h) issued by users at n3 and n4.
+//
+//   (a) Non-Share: merging disabled — q1 and q2 each run on the SPE at n1
+//       and their result streams s1, s2 cross the n1-n2 link separately.
+//   (b) Share: merging enabled — the representative q3 runs once; s3
+//       crosses n1-n2 once and is split into s1/s2 at n2 by the
+//       re-tightened profiles.
+//
+// The paper's claim: the overlapping content of s1 and s2 is transmitted
+// twice in (a) but once in (b), so the n1-n2 byte count drops.
+
+#include <cstdio>
+
+#include "core/system.h"
+#include "stream/auction_dataset.h"
+
+using namespace cosmos;
+
+namespace {
+
+const char* kQ1 =
+    "SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C "
+    "WHERE O.itemID = C.itemID";
+const char* kQ2 =
+    "SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp "
+    "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+    "WHERE O.itemID = C.itemID";
+
+struct RunResult {
+  uint64_t n1n2_bytes = 0;
+  uint64_t n1n2_datagrams = 0;
+  uint64_t total_bytes = 0;
+  int q1_results = 0;
+  int q2_results = 0;
+  size_t groups = 0;
+};
+
+RunResult Run(bool share) {
+  // n1(0) -- n2(1) -- n3(2), n2(1) -- n4(3); sources feed n1 directly.
+  std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {1, 3, 1.0}};
+  auto tree = DisseminationTree::FromEdges(4, edges).value();
+
+  SystemOptions options;
+  options.processor.enable_merging = share;
+  CosmosSystem system(std::move(tree), options);
+
+  AuctionDatasetOptions aopts;
+  aopts.num_auctions = 4000;
+  aopts.seed = 17;
+  AuctionDataset auctions(aopts);
+  (void)system.RegisterSource(AuctionDataset::OpenAuctionSchema(), 2.0, 0);
+  (void)system.RegisterSource(AuctionDataset::ClosedAuctionSchema(), 1.8, 0);
+  (void)system.AddProcessor(0);
+
+  RunResult r;
+  (void)system.SubmitQuery(kQ1, 2, [&r](const std::string&, const Tuple&) {
+    ++r.q1_results;
+  });
+  (void)system.SubmitQuery(kQ2, 3, [&r](const std::string&, const Tuple&) {
+    ++r.q2_results;
+  });
+
+  // Only measure result delivery: reset counters after the (source-side)
+  // subscription setup, then replay. Source tuples flow only on links the
+  // processor needs (none here beyond publishing at n1 itself).
+  system.network().ResetStats();
+  auto replay = auctions.MakeReplay();
+  while (auto t = replay->Next()) {
+    (void)system.PublishSourceTuple(t->schema()->stream_name(), *t);
+  }
+
+  const auto& stats = system.network().link_stats();
+  auto it = stats.find({0, 1});
+  if (it != stats.end()) {
+    r.n1n2_bytes = it->second.bytes;
+    r.n1n2_datagrams = it->second.datagrams;
+  }
+  r.total_bytes = system.network().total_bytes();
+  r.groups = system.TotalGroups();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  RunResult non_share = Run(false);
+  RunResult share = Run(true);
+
+  std::printf("# Figure 3: result stream delivery (Table 1 queries q1,q2)\n");
+  std::printf("%-28s %14s %14s\n", "", "non-share(a)", "share(b)");
+  std::printf("%-28s %14zu %14zu\n", "query groups at n1",
+              non_share.groups, share.groups);
+  std::printf("%-28s %14llu %14llu\n", "n1-n2 datagrams",
+              static_cast<unsigned long long>(non_share.n1n2_datagrams),
+              static_cast<unsigned long long>(share.n1n2_datagrams));
+  std::printf("%-28s %14llu %14llu\n", "n1-n2 bytes",
+              static_cast<unsigned long long>(non_share.n1n2_bytes),
+              static_cast<unsigned long long>(share.n1n2_bytes));
+  std::printf("%-28s %14llu %14llu\n", "total bytes",
+              static_cast<unsigned long long>(non_share.total_bytes),
+              static_cast<unsigned long long>(share.total_bytes));
+  std::printf("%-28s %14d %14d\n", "q1 results", non_share.q1_results,
+              share.q1_results);
+  std::printf("%-28s %14d %14d\n", "q2 results", non_share.q2_results,
+              share.q2_results);
+
+  bool correct = non_share.q1_results == share.q1_results &&
+                 non_share.q2_results == share.q2_results;
+  double saved = non_share.n1n2_bytes == 0
+                     ? 0.0
+                     : 100.0 * (1.0 - static_cast<double>(share.n1n2_bytes) /
+                                          non_share.n1n2_bytes);
+  std::printf("\nresults identical under both modes: %s\n",
+              correct ? "yes" : "NO (bug!)");
+  std::printf("shared delivery saves %.1f%% of n1-n2 bytes\n", saved);
+  return correct ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Reproduces Figure 4(a) — Benefit Ratio vs. number of inserted queries,
+// for the uniform / zipf1.0 / zipf1.5 / zipf2 query distributions.
+// Paper's qualitative shape: benefit grows with #queries and with skew
+// (zipf2 highest, uniform lowest).
+//
+// Usage: bench_fig4a_benefit_ratio [repetitions] [max_queries] [num_nodes]
+// Defaults are scaled for a laptop run; the paper's setting is
+// repetitions=20, max_queries=10000, num_nodes=1000.
+
+#include "fig4_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cosmos::bench;
+  Fig4Options options;
+  if (argc > 1) options.repetitions = std::atoi(argv[1]);
+  if (argc > 2) options.max_queries = std::atoi(argv[2]);
+  if (argc > 3) options.num_nodes = std::atoi(argv[3]);
+  options.snapshot_step = options.max_queries / 5;
+
+  Fig4Table table = RunFig4(options);
+
+  std::printf("# Figure 4(a): Benefit Ratio "
+              "(reps=%d, nodes=%d, streams=63)\n",
+              options.repetitions, options.num_nodes);
+  std::printf("%-10s", "#queries");
+  for (double theta : options.thetas) std::printf("%10s", ThetaLabel(theta));
+  std::printf("\n");
+  for (size_t snap = 0; snap < table[0].size(); ++snap) {
+    std::printf("%-10d",
+                static_cast<int>((snap + 1) * options.snapshot_step));
+    for (size_t ti = 0; ti < options.thetas.size(); ++ti) {
+      std::printf("%10.3f", table[ti][snap].benefit_ratio);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

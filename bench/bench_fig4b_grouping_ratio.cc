@@ -1,0 +1,35 @@
+// Reproduces Figure 4(b) — Grouping Ratio (#groups / #queries) vs. number
+// of inserted queries, for the four query distributions. Paper's shape:
+// the ratio falls as queries accumulate and falls faster with skew (the
+// lower the grouping ratio, the higher the benefit ratio of Fig. 4a).
+//
+// Usage: bench_fig4b_grouping_ratio [repetitions] [max_queries] [num_nodes]
+
+#include "fig4_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cosmos::bench;
+  Fig4Options options;
+  if (argc > 1) options.repetitions = std::atoi(argv[1]);
+  if (argc > 2) options.max_queries = std::atoi(argv[2]);
+  if (argc > 3) options.num_nodes = std::atoi(argv[3]);
+  options.snapshot_step = options.max_queries / 5;
+
+  Fig4Table table = RunFig4(options);
+
+  std::printf("# Figure 4(b): Grouping Ratio "
+              "(reps=%d, nodes=%d, streams=63)\n",
+              options.repetitions, options.num_nodes);
+  std::printf("%-10s", "#queries");
+  for (double theta : options.thetas) std::printf("%10s", ThetaLabel(theta));
+  std::printf("\n");
+  for (size_t snap = 0; snap < table[0].size(); ++snap) {
+    std::printf("%-10d",
+                static_cast<int>((snap + 1) * options.snapshot_step));
+    for (size_t ti = 0; ti < options.thetas.size(); ++ti) {
+      std::printf("%10.3f", table[ti][snap].grouping_ratio);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,248 @@
+// Hot-path microbenchmarks (google-benchmark): filter evaluation, profile
+// covering, query parsing/analysis, containment, representative
+// composition, window-join throughput, and CBN publish.
+
+#include <benchmark/benchmark.h>
+
+#include "cbn/codec.h"
+#include "cbn/covering.h"
+#include "cbn/network.h"
+#include "core/merger.h"
+#include "core/profile_composer.h"
+#include "overlay/spanning_tree.h"
+#include "overlay/topology.h"
+#include "spe/join.h"
+#include "spe/multiway_join.h"
+#include "stream/auction_dataset.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+Tuple MakeSensorTuple(const std::shared_ptr<const Schema>& schema,
+                      double temperature, Timestamp ts) {
+  std::vector<Value> values;
+  for (const auto& def : schema->attributes()) {
+    if (def.name == "ambient_temperature") {
+      values.emplace_back(temperature);
+    } else if (def.type == ValueType::kInt64) {
+      values.emplace_back(int64_t{1});
+    } else {
+      values.emplace_back(10.0);
+    }
+  }
+  return Tuple(schema, std::move(values), ts);
+}
+
+void BM_FilterCovers(benchmark::State& state) {
+  SensorDataset sensors;
+  auto schema = sensors.SchemaOf(0);
+  ConjunctiveClause clause;
+  clause.ConstrainInterval("ambient_temperature",
+                           Interval(10.0, false, 25.0, false));
+  clause.ConstrainInterval("relative_humidity",
+                           Interval(0.0, false, 60.0, false));
+  Filter filter(schema->stream_name(), clause);
+  Datagram d{schema->stream_name(), MakeSensorTuple(schema, 15.0, 1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Covers(d));
+  }
+}
+BENCHMARK(BM_FilterCovers);
+
+void BM_ProfileCovering(benchmark::State& state) {
+  SensorDataset sensors;
+  auto schema = sensors.SchemaOf(0);
+  Profile wide;
+  ConjunctiveClause wc;
+  wc.ConstrainInterval("ambient_temperature",
+                       Interval(0.0, false, 30.0, false));
+  wide.AddFilter(Filter(schema->stream_name(), wc));
+  Profile narrow;
+  ConjunctiveClause nc;
+  nc.ConstrainInterval("ambient_temperature",
+                       Interval(10.0, false, 20.0, false));
+  narrow.AddFilter(Filter(schema->stream_name(), nc));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProfileCovers(wide, narrow));
+  }
+}
+BENCHMARK(BM_ProfileCovering);
+
+void BM_ParseAndAnalyze(benchmark::State& state) {
+  Catalog catalog;
+  AuctionDataset auctions;
+  (void)auctions.RegisterAll(catalog);
+  const std::string cql =
+      "SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp "
+      "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID";
+  for (auto _ : state) {
+    auto q = ParseAndAnalyze(cql, catalog, "r");
+    benchmark::DoNotOptimize(q.ok());
+  }
+}
+BENCHMARK(BM_ParseAndAnalyze);
+
+void BM_QueryContains(benchmark::State& state) {
+  Catalog catalog;
+  AuctionDataset auctions;
+  (void)auctions.RegisterAll(catalog);
+  auto q1 = ParseAndAnalyze(
+      "SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID",
+      catalog, "r1");
+  auto q2 = ParseAndAnalyze(
+      "SELECT O.* FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID",
+      catalog, "r2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryContains(*q2, *q1));
+  }
+}
+BENCHMARK(BM_QueryContains);
+
+void BM_ComposeRepresentative(benchmark::State& state) {
+  Catalog catalog;
+  SensorDataset sensors;
+  (void)sensors.RegisterAll(catalog);
+  auto q1 = ParseAndAnalyze(
+      "SELECT ambient_temperature FROM sensor_00 [Range 1 Hour] "
+      "WHERE ambient_temperature >= 10 AND ambient_temperature <= 20",
+      catalog, "r1");
+  auto q2 = ParseAndAnalyze(
+      "SELECT ambient_temperature, relative_humidity FROM sensor_00 "
+      "[Range 2 Hour] WHERE ambient_temperature >= 15 AND "
+      "ambient_temperature <= 25",
+      catalog, "r2");
+  std::vector<const AnalyzedQuery*> members = {&*q1, &*q2};
+  for (auto _ : state) {
+    auto rep = ComposeRepresentative(members, catalog, "rep");
+    benchmark::DoNotOptimize(rep.ok());
+  }
+}
+BENCHMARK(BM_ComposeRepresentative);
+
+void BM_WindowJoin(benchmark::State& state) {
+  AuctionDataset auctions;
+  auto open = AuctionDataset::OpenAuctionSchema();
+  auto closed = AuctionDataset::ClosedAuctionSchema();
+  auto joined = MakeJoinedSchema(*open, "O", *closed, "C", "j");
+  size_t emitted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    WindowJoinOperator join(3 * kHour, 0, {{0, 0}}, nullptr, joined);
+    join.SetSink([&emitted](const Tuple&) { ++emitted; });
+    auto open_gen = auctions.MakeOpenGenerator();
+    auto closed_gen = auctions.MakeClosedGenerator();
+    ReplayMerger merger = [&] {
+      std::vector<std::unique_ptr<StreamGenerator>> gens;
+      gens.push_back(std::move(open_gen));
+      gens.push_back(std::move(closed_gen));
+      return ReplayMerger(std::move(gens));
+    }();
+    state.ResumeTiming();
+    while (auto t = merger.Next()) {
+      join.Push(t->schema()->stream_name() == "OpenAuction" ? 0 : 1, *t);
+    }
+  }
+  benchmark::DoNotOptimize(emitted);
+}
+BENCHMARK(BM_WindowJoin)->Unit(benchmark::kMillisecond);
+
+// Hash-indexed join probing under a resident window of `range(0)` tuples:
+// time per arrival should stay flat as the window grows (O(matches)).
+void BM_WindowJoinProbe(benchmark::State& state) {
+  const int64_t resident = state.range(0);
+  auto left = std::make_shared<Schema>(
+      "L", std::vector<AttributeDef>{{"k", ValueType::kInt64}});
+  auto right = std::make_shared<Schema>(
+      "R", std::vector<AttributeDef>{{"k", ValueType::kInt64}});
+  auto out = MakeJoinedSchema(*left, "L", *right, "R", "J");
+  WindowJoinOperator join(kInfiniteDuration, kInfiniteDuration, {{0, 0}},
+                          nullptr, out);
+  join.SetSink(nullptr);
+  // Populate the left window with distinct keys.
+  for (int64_t i = 0; i < resident; ++i) {
+    join.Push(0, Tuple(left, {Value(i)}, i));
+  }
+  int64_t ts = resident;
+  int64_t key = 0;
+  for (auto _ : state) {
+    join.Push(1, Tuple(right, {Value(key % resident)}, ts));
+    ++ts;
+    ++key;
+    state.PauseTiming();
+    // Keep the right buffer from growing unboundedly across iterations.
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_WindowJoinProbe)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MultiWayJoinThreeStreams(benchmark::State& state) {
+  auto schema = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"k", ValueType::kInt64}});
+  auto out = MakeConcatenatedSchema(
+      {{schema.get(), "A"}, {schema.get(), "B"}, {schema.get(), "C"}}, "J");
+  size_t emitted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MultiWayJoinOperator join({10, 10, 10}, {{0, 0, 1, 0}, {1, 0, 2, 0}},
+                              nullptr, out);
+    join.SetSink([&emitted](const Tuple&) { ++emitted; });
+    state.ResumeTiming();
+    Rng rng(7);
+    for (int i = 0; i < 3000; ++i) {
+      join.Push(rng.NextBounded(3),
+                Tuple(schema, {Value(rng.NextInt(0, 9))}, i));
+    }
+  }
+  benchmark::DoNotOptimize(emitted);
+}
+BENCHMARK(BM_MultiWayJoinThreeStreams)->Unit(benchmark::kMillisecond);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  SensorDataset sensors;
+  auto schema = sensors.SchemaOf(0);
+  Datagram d{schema->stream_name(), MakeSensorTuple(schema, 20.0, 5)};
+  for (auto _ : state) {
+    auto bytes = EncodeDatagram(d);
+    auto decoded = DecodeDatagram(bytes);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+void BM_CbnPublish(benchmark::State& state) {
+  TopologyOptions topo_opts;
+  topo_opts.num_nodes = 100;
+  topo_opts.seed = 12;
+  Topology topo = GenerateBarabasiAlbert(topo_opts);
+  auto tree = DisseminationTree::FromEdges(
+                  topo_opts.num_nodes, *MinimumSpanningTree(topo.graph))
+                  .value();
+  ContentBasedNetwork network(std::move(tree));
+  SensorDataset sensors;
+  auto schema = sensors.SchemaOf(0);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Profile p;
+    ConjunctiveClause c;
+    c.ConstrainInterval("ambient_temperature",
+                        Interval(rng.NextDouble(-10, 10), false,
+                                 rng.NextDouble(15, 35), false));
+    p.AddStream(schema->stream_name(),
+                {"ambient_temperature", "relative_humidity"});
+    p.AddFilter(Filter(schema->stream_name(), c));
+    network.Subscribe(static_cast<NodeId>(rng.NextBounded(100)),
+                      std::move(p), nullptr);
+  }
+  Datagram d{schema->stream_name(), MakeSensorTuple(schema, 18.0, 1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.Publish(0, d));
+  }
+}
+BENCHMARK(BM_CbnPublish);
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,87 @@
+// Data-layer fault tolerance in action (paper Figure 2's data-layer
+// fault-tolerance module): a tree link fails mid-replay, the CBN buffers
+// the traffic that would have crossed it, and the overlay repair splices a
+// backup edge in and flushes the buffer — the user misses nothing.
+
+#include <cstdio>
+
+#include "core/system.h"
+#include "overlay/spanning_tree.h"
+#include "overlay/topology.h"
+#include "stream/sensor_dataset.h"
+
+using namespace cosmos;
+
+int main() {
+  TopologyOptions topo_opts;
+  topo_opts.num_nodes = 24;
+  topo_opts.ba_edges_per_node = 3;
+  topo_opts.seed = 41;
+  Topology topo = GenerateBarabasiAlbert(topo_opts);
+  auto tree = DisseminationTree::FromEdges(
+                  topo_opts.num_nodes, *MinimumSpanningTree(topo.graph))
+                  .value();
+
+  CosmosSystem system(tree);
+  system.SetOverlay(topo.graph);
+
+  SensorDatasetOptions sopts;
+  sopts.num_stations = 4;
+  sopts.duration = 20 * kMinute;
+  SensorDataset sensors(sopts);
+  for (int k = 0; k < sopts.num_stations; ++k) {
+    (void)system.RegisterSource(sensors.SchemaOf(k),
+                                sensors.RatePerStation(), k * 5);
+  }
+  (void)system.AddProcessor(2);
+
+  int received = 0;
+  auto id = system.SubmitQuery(
+      "SELECT ambient_temperature, relative_humidity FROM sensor_01",
+      /*user=*/20, [&](const std::string&, const Tuple&) { ++received; });
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    return 1;
+  }
+
+  // Stream the first half of the history.
+  auto replay = sensors.MakeReplay();
+  int streamed = 0;
+  const int total = 4 * 40;  // 4 stations x 40 samples
+  while (streamed < total / 2) {
+    auto t = replay->Next();
+    if (!t) break;
+    (void)system.PublishSourceTuple(t->schema()->stream_name(), *t);
+    ++streamed;
+  }
+  std::printf("first half streamed: user received %d tuples\n", received);
+
+  // Take down a link on the processor-to-user delivery path, keep
+  // streaming.
+  auto path = system.network().tree().Path(2, 20);
+  Edge victim{path[path.size() - 2], path[path.size() - 1], 0};
+  (void)system.FailLink(victim.u, victim.v);
+  std::printf("link %d-%d failed (last hop to the user)\n", victim.u,
+              victim.v);
+  while (auto t = replay->Next()) {
+    (void)system.PublishSourceTuple(t->schema()->stream_name(), *t);
+    ++streamed;
+  }
+  std::printf("second half streamed during the outage: received %d, "
+              "buffered %llu datagrams\n",
+              received,
+              static_cast<unsigned long long>(
+                  system.network().buffered_datagrams()));
+
+  // Repair from the overlay and flush.
+  Status s = system.RepairLinks();
+  if (!s.ok()) {
+    std::fprintf(stderr, "repair: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("after repair: received %d (expected %d), recovered %llu\n",
+              received, 40,
+              static_cast<unsigned long long>(
+                  system.network().recovered_datagrams()));
+  return received == 40 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Demonstrates the overlay network optimizer (paper §3.2): build a random
+// dissemination tree over a power-law overlay, load it with flows, and let
+// the cost-driven local reorganization improve it. Compares against the
+// MST the paper's evaluation uses.
+
+#include <cstdio>
+
+#include "overlay/optimizer.h"
+#include "overlay/spanning_tree.h"
+#include "overlay/topology.h"
+
+using namespace cosmos;
+
+int main() {
+  TopologyOptions opts;
+  opts.num_nodes = 60;
+  opts.ba_edges_per_node = 3;
+  opts.seed = 11;
+  Topology topo = GenerateBarabasiAlbert(opts);
+
+  // Random flows: a few sources streaming to many sinks.
+  Rng rng(5);
+  std::vector<Flow> flows;
+  for (int i = 0; i < 40; ++i) {
+    Flow f;
+    f.source = static_cast<NodeId>(rng.NextBounded(5));  // hot sources
+    f.sink = static_cast<NodeId>(rng.NextBounded(60));
+    f.rate_bps = rng.NextDouble(100.0, 10000.0);
+    flows.push_back(f);
+  }
+
+  OverlayOptimizer optimizer(topo.graph);
+
+  auto random_tree_edges = RandomSpanningTree(topo.graph, rng);
+  auto random_tree =
+      DisseminationTree::FromEdges(opts.num_nodes, *random_tree_edges);
+  auto mst_edges = MinimumSpanningTree(topo.graph);
+  auto mst = DisseminationTree::FromEdges(opts.num_nodes, *mst_edges);
+
+  double random_cost = optimizer.TreeCost(*random_tree, flows);
+  double mst_cost = optimizer.TreeCost(*mst, flows);
+
+  OverlayOptimizer::Stats stats;
+  auto optimized = optimizer.Optimize(*random_tree, flows, &stats);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimize: %s\n",
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
+  double optimized_cost = optimizer.TreeCost(*optimized, flows);
+
+  std::printf("tree cost under the flow-weighted delay model:\n");
+  std::printf("  random spanning tree : %12.0f\n", random_cost);
+  std::printf("  minimum spanning tree: %12.0f\n", mst_cost);
+  std::printf("  optimized (from random, %d swaps): %12.0f\n",
+              stats.swaps_applied, optimized_cost);
+  std::printf("local reorganization recovered %.1f%% of the random tree's "
+              "excess cost\n",
+              100.0 * (random_cost - optimized_cost) /
+                  std::max(1.0, random_cost - mst_cost));
+  return optimized_cost <= random_cost ? 0 : 1;
+}

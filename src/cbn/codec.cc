@@ -1,0 +1,193 @@
+#include "cbn/codec.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+void Encoder::PutU8(uint8_t v) { buffer_.push_back(v); }
+
+void Encoder::PutU16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v & 0xFF));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutI64(int64_t v) {
+  uint64_t u;
+  std::memcpy(&u, &v, 8);
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(u >> (8 * i)));
+  }
+}
+
+void Encoder::PutF64(double v) {
+  int64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutI64(bits);
+}
+
+void Encoder::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+Status Decoder::Need(size_t n) const {
+  if (pos_ + n > buffer_.size()) {
+    return Status::OutOfRange(
+        StrFormat("decode past end: need %zu, have %zu", n,
+                  buffer_.size() - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> Decoder::GetU8() {
+  COSMOS_RETURN_IF_ERROR(Need(1));
+  return buffer_[pos_++];
+}
+
+Result<uint16_t> Decoder::GetU16() {
+  COSMOS_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(buffer_[pos_]) |
+               static_cast<uint16_t>(buffer_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Decoder::GetU32() {
+  COSMOS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(buffer_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<int64_t> Decoder::GetI64() {
+  COSMOS_RETURN_IF_ERROR(Need(8));
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u |= static_cast<uint64_t>(buffer_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  int64_t v;
+  std::memcpy(&v, &u, 8);
+  return v;
+}
+
+Result<double> Decoder::GetF64() {
+  COSMOS_ASSIGN_OR_RETURN(int64_t bits, GetI64());
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+Result<std::string> Decoder::GetString() {
+  COSMOS_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  COSMOS_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+std::vector<uint8_t> EncodeDatagram(const Datagram& d) {
+  Encoder enc;
+  enc.PutU16(static_cast<uint16_t>(d.stream.size()));
+  for (char c : d.stream) enc.PutU8(static_cast<uint8_t>(c));
+  enc.PutI64(d.tuple.timestamp());
+  enc.PutU16(static_cast<uint16_t>(d.tuple.num_values()));
+  for (size_t i = 0; i < d.tuple.num_values(); ++i) {
+    const auto& def = d.tuple.schema()->attribute(i);
+    enc.PutU16(static_cast<uint16_t>(def.name.size()));
+    for (char c : def.name) enc.PutU8(static_cast<uint8_t>(c));
+    const Value& v = d.tuple.value(i);
+    enc.PutU8(static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt64:
+        enc.PutI64(v.AsInt64());
+        break;
+      case ValueType::kDouble:
+        enc.PutF64(v.AsDouble());
+        break;
+      case ValueType::kString:
+        enc.PutString(v.AsString());
+        break;
+      case ValueType::kBool:
+        enc.PutU8(v.AsBool() ? 1 : 0);
+        break;
+    }
+  }
+  return enc.Take();
+}
+
+Result<Datagram> DecodeDatagram(const std::vector<uint8_t>& bytes) {
+  Decoder dec(bytes);
+  COSMOS_ASSIGN_OR_RETURN(uint16_t name_len, dec.GetU16());
+  std::string stream;
+  stream.reserve(name_len);
+  for (uint16_t i = 0; i < name_len; ++i) {
+    COSMOS_ASSIGN_OR_RETURN(uint8_t c, dec.GetU8());
+    stream.push_back(static_cast<char>(c));
+  }
+  COSMOS_ASSIGN_OR_RETURN(int64_t ts, dec.GetI64());
+  COSMOS_ASSIGN_OR_RETURN(uint16_t count, dec.GetU16());
+
+  std::vector<AttributeDef> attrs;
+  std::vector<Value> values;
+  for (uint16_t i = 0; i < count; ++i) {
+    COSMOS_ASSIGN_OR_RETURN(uint16_t alen, dec.GetU16());
+    std::string attr;
+    attr.reserve(alen);
+    for (uint16_t k = 0; k < alen; ++k) {
+      COSMOS_ASSIGN_OR_RETURN(uint8_t c, dec.GetU8());
+      attr.push_back(static_cast<char>(c));
+    }
+    COSMOS_ASSIGN_OR_RETURN(uint8_t tag, dec.GetU8());
+    ValueType type = static_cast<ValueType>(tag);
+    switch (type) {
+      case ValueType::kNull:
+        values.emplace_back();
+        break;
+      case ValueType::kInt64: {
+        COSMOS_ASSIGN_OR_RETURN(int64_t v, dec.GetI64());
+        values.emplace_back(v);
+        break;
+      }
+      case ValueType::kDouble: {
+        COSMOS_ASSIGN_OR_RETURN(double v, dec.GetF64());
+        values.emplace_back(v);
+        break;
+      }
+      case ValueType::kString: {
+        COSMOS_ASSIGN_OR_RETURN(std::string v, dec.GetString());
+        values.emplace_back(std::move(v));
+        break;
+      }
+      case ValueType::kBool: {
+        COSMOS_ASSIGN_OR_RETURN(uint8_t v, dec.GetU8());
+        values.emplace_back(v != 0);
+        break;
+      }
+      default:
+        return Status::ParseError(
+            StrFormat("bad value type tag %u", tag));
+    }
+    attrs.emplace_back(std::move(attr), type);
+  }
+  if (!dec.AtEnd()) {
+    return Status::ParseError("trailing bytes after datagram");
+  }
+  auto schema = std::make_shared<Schema>(stream, std::move(attrs));
+  return Datagram{stream, Tuple(std::move(schema), std::move(values), ts)};
+}
+
+}  // namespace cosmos

@@ -1,0 +1,75 @@
+#ifndef COSMOS_CBN_CODEC_H_
+#define COSMOS_CBN_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cbn/datagram.h"
+
+namespace cosmos {
+
+// Binary wire format for datagrams. The in-process network never needs to
+// serialize, but the byte accounting of every experiment is calibrated
+// against this codec (Datagram::SerializedSize matches EncodeDatagram's
+// output length for the common attribute types), and a real deployment
+// would ship exactly these bytes.
+//
+// Layout (little-endian):
+//   u16  stream name length, then the name bytes
+//   i64  timestamp
+//   u16  attribute count
+//   per attribute:
+//     u16 name length + name bytes
+//     u8  type tag (ValueType)
+//     payload: i64 / f64 / (u32 length + bytes) / u8 bool / none for null
+//
+// Note the self-describing attribute names: a CBN datagram is a set of
+// attribute-value pairs (paper §1), routable without out-of-band schemas.
+class Encoder {
+ public:
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutI64(int64_t v);
+  void PutF64(double v);
+  void PutString(const std::string& s);  // u32 length prefix
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<uint8_t>& buffer) : buffer_(buffer) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<int64_t> GetI64();
+  Result<double> GetF64();
+  Result<std::string> GetString();
+
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const std::vector<uint8_t>& buffer_;
+  size_t pos_ = 0;
+};
+
+// Serializes `d` (schema attribute names travel inline).
+std::vector<uint8_t> EncodeDatagram(const Datagram& d);
+
+// Reconstructs a datagram; the schema is rebuilt from the inline names and
+// type tags (no ranges — wire datagrams carry values, not statistics).
+Result<Datagram> DecodeDatagram(const std::vector<uint8_t>& bytes);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CBN_CODEC_H_

@@ -1,0 +1,3 @@
+#include "cbn/datagram.h"
+
+// Datagram is header-only; this TU anchors the target in the build.

@@ -1,0 +1,30 @@
+#ifndef COSMOS_CBN_DATAGRAM_H_
+#define COSMOS_CBN_DATAGRAM_H_
+
+#include <string>
+
+#include "stream/tuple.h"
+
+namespace cosmos {
+
+// The unit of transport in the content-based network: one tuple of one
+// named stream (paper §3: "each datagram consists of several
+// attribute-value pairs" and belongs to exactly one stream). The attribute
+// names/types come from the tuple's schema, which may be a projected subset
+// of the stream's full schema after early projection.
+struct Datagram {
+  std::string stream;
+  Tuple tuple;
+
+  // Wire size: stream-name header + encoded tuple. This is the quantity the
+  // communication-cost model accumulates per link.
+  size_t SerializedSize() const {
+    return 2 + stream.size() + tuple.SerializedSize();
+  }
+
+  std::string ToString() const { return stream + ":" + tuple.ToString(); }
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CBN_DATAGRAM_H_

@@ -1,0 +1,34 @@
+#include "cbn/filter.h"
+
+#include <set>
+
+#include "expr/evaluator.h"
+
+namespace cosmos {
+
+bool Filter::Covers(const Datagram& d) const {
+  if (d.stream != stream_) return false;
+  if (!clause_.MatchesCanonical(d.tuple)) return false;
+  for (const auto& r : clause_.residual()) {
+    auto res = EvalPredicate(r, d.tuple);
+    if (!res.ok() || !*res) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Filter::ReferencedAttributes() const {
+  std::set<std::string> names;
+  for (const auto& [attr, c] : clause_.constraints()) names.insert(attr);
+  for (const auto& r : clause_.residual()) {
+    std::vector<const ColumnRefExpr*> cols;
+    CollectColumns(r, &cols);
+    for (const auto* c : cols) names.insert(c->FullName());
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+std::string Filter::ToString() const {
+  return stream_ + ": " + clause_.ToString();
+}
+
+}  // namespace cosmos

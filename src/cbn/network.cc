@@ -1,0 +1,362 @@
+#include "cbn/network.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cosmos {
+
+ContentBasedNetwork::ContentBasedNetwork(DisseminationTree tree,
+                                         NetworkOptions options,
+                                         Simulator* sim)
+    : tree_(std::move(tree)), options_(options), sim_(sim) {
+  routers_.reserve(tree_.num_nodes());
+  for (NodeId i = 0; i < tree_.num_nodes(); ++i) routers_.emplace_back(i);
+}
+
+const std::set<NodeId>* ContentBasedNetwork::PublishersOf(
+    const std::string& stream) const {
+  auto it = advertisements_.find(stream);
+  return it == advertisements_.end() ? nullptr : &it->second;
+}
+
+void ContentBasedNetwork::Advertise(NodeId node, const std::string& stream) {
+  COSMOS_CHECK(node >= 0 && node < num_nodes());
+  auto& publishers = advertisements_[stream];
+  if (!publishers.insert(node).second) return;  // already advertised
+  if (!options_.advertisement_scoping) return;
+  // A new publisher appeared: existing subscriptions interested in this
+  // stream need routing entries along the new publisher->subscriber paths.
+  for (const auto& [id, sub] : subscriptions_) {
+    if (!sub.profile->WantsStream(stream)) continue;
+    InstallAlongPath(node, sub.node, id, sub.profile);
+  }
+}
+
+ProfileId ContentBasedNetwork::Subscribe(NodeId node, Profile profile,
+                                         DeliveryCallback callback) {
+  COSMOS_CHECK(node >= 0 && node < num_nodes());
+  ProfileId id = next_profile_id_++;
+  auto shared = std::make_shared<const Profile>(std::move(profile));
+  routers_[node].AddLocal(id, shared, callback);
+  subscriptions_[id] = Subscription{node, shared, std::move(callback)};
+  PropagateSubscription(node, id, shared);
+  return id;
+}
+
+std::optional<std::set<NodeId>> ContentBasedNetwork::ScopeOf(
+    NodeId subscriber, const Profile& profile) const {
+  if (!options_.advertisement_scoping) return std::nullopt;
+  std::set<NodeId> scope;
+  for (const auto& stream : profile.streams()) {
+    const std::set<NodeId>* publishers = PublishersOf(stream);
+    if (publishers == nullptr) continue;
+    for (NodeId p : *publishers) {
+      for (NodeId n : tree_.Path(p, subscriber)) scope.insert(n);
+    }
+  }
+  return scope;
+}
+
+void ContentBasedNetwork::InstallAlongPath(NodeId publisher,
+                                           NodeId subscriber, ProfileId id,
+                                           const ProfilePtr& profile) {
+  auto path = tree_.Path(publisher, subscriber);
+  // path runs publisher -> ... -> subscriber; at each intermediate node the
+  // entry points to the next hop (toward the subscriber).
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    NodeId node = path[i];
+    NodeId toward = path[i + 1];
+    RoutingTable& table = routers_[node].table();
+    bool present = false;
+    for (const auto& e : table.EntriesFor(toward)) {
+      if (e.id == id) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      table.Add(toward, id, profile);
+      ++control_messages_;
+    }
+  }
+}
+
+void ContentBasedNetwork::PropagateSubscription(NodeId subscriber,
+                                                ProfileId id,
+                                                const ProfilePtr& profile) {
+  auto scope = ScopeOf(subscriber, *profile);
+  if (scope.has_value()) {
+    // Advertisement-scoped installation: only publisher->subscriber paths.
+    for (const auto& stream : profile->streams()) {
+      const std::set<NodeId>* publishers = PublishersOf(stream);
+      if (publishers == nullptr) continue;
+      for (NodeId p : *publishers) {
+        InstallAlongPath(p, subscriber, id, profile);
+      }
+    }
+    return;
+  }
+
+  // Flood outward from the subscriber. A node reached from neighbor `prev`
+  // (the side the subscriber lies on) installs (prev -> profile) and keeps
+  // flooding unless covering-prune applies: if a profile already installed
+  // on that same link covers the new one, nodes farther out would never
+  // route anything new toward us, so propagation stops.
+  struct Hop {
+    NodeId node;
+    NodeId prev;
+  };
+  std::queue<Hop> q;
+  for (const auto& [n, w] : tree_.Neighbors(subscriber)) {
+    q.push(Hop{n, subscriber});
+    ++control_messages_;
+  }
+  while (!q.empty()) {
+    Hop h = q.front();
+    q.pop();
+    RoutingTable& table = routers_[h.node].table();
+    bool covered = false;
+    if (options_.covering_prune) {
+      for (const auto& e : table.EntriesFor(h.prev)) {
+        if (e.id != id && ProfileCovers(*e.profile, *profile)) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    table.AddUnique(h.prev, id, profile);
+    if (covered) continue;  // no need to announce farther out
+    for (const auto& [n, w] : tree_.Neighbors(h.node)) {
+      if (n == h.prev) continue;
+      q.push(Hop{n, h.node});
+      ++control_messages_;
+    }
+  }
+}
+
+bool ContentBasedNetwork::Unsubscribe(ProfileId id) {
+  ProfilePtr removed;
+  auto sit = subscriptions_.find(id);
+  if (sit != subscriptions_.end()) {
+    removed = sit->second.profile;
+    subscriptions_.erase(sit);
+  }
+  bool found = removed != nullptr;
+  for (auto& r : routers_) {
+    if (r.RemoveLocal(id)) found = true;
+    if (r.table().RemoveEverywhere(id) > 0) found = true;
+  }
+  // Covering-prune soundness: subscriptions whose propagation was pruned
+  // under the removed profile would go deaf. Re-propagate every remaining
+  // subscription that shares a stream with it; AddUnique makes this
+  // idempotent where entries already exist.
+  if (found && options_.covering_prune && removed != nullptr) {
+    for (const auto& [other_id, sub] : subscriptions_) {
+      bool overlaps = false;
+      for (const auto& stream : sub.profile->streams()) {
+        if (removed->WantsStream(stream)) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) {
+        PropagateSubscription(sub.node, other_id, sub.profile);
+      }
+    }
+  }
+  return found;
+}
+
+void ContentBasedNetwork::AccountLink(NodeId u, NodeId v, const Datagram& d) {
+  LinkStats& stats = link_stats_[DisseminationTree::EdgeKey(u, v)];
+  ++stats.datagrams;
+  stats.bytes += d.SerializedSize();
+  total_bytes_ += d.SerializedSize();
+  ++total_forwards_;
+}
+
+std::vector<bool> ContentBasedNetwork::ComponentAvoidingFailures(
+    NodeId start) const {
+  std::vector<bool> in(num_nodes(), false);
+  std::queue<NodeId> q;
+  q.push(start);
+  in[start] = true;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const auto& [v, w] : tree_.Neighbors(u)) {
+      if (in[v] || LinkFailed(u, v)) continue;
+      in[v] = true;
+      q.push(v);
+    }
+  }
+  return in;
+}
+
+size_t ContentBasedNetwork::Process(NodeId node, NodeId from,
+                                    const Datagram& d,
+                                    const std::vector<bool>* allowed) {
+  size_t delivered = routers_[node].DeliverLocal(d, projection_cache_);
+  total_deliveries_ += delivered;
+
+  for (const auto& [neighbor, weight] : tree_.Neighbors(node)) {
+    if (neighbor == from) continue;
+    if (allowed != nullptr && !(*allowed)[neighbor]) continue;
+    std::optional<Datagram> out = routers_[node].DecideForward(
+        d, neighbor, options_.early_projection, projection_cache_);
+    if (!out.has_value()) continue;
+    if (LinkFailed(node, neighbor)) {
+      if (options_.buffer_on_failure) {
+        // Hold a copy for the cut-off side; it resumes after Repair()
+        // inside exactly that component, so nobody sees it twice.
+        buffered_.push_back(Buffered{
+            neighbor, ComponentAvoidingFailures(neighbor), *out});
+      } else {
+        ++lost_datagrams_;
+      }
+      continue;
+    }
+    AccountLink(node, neighbor, *out);
+    if (sim_ != nullptr) {
+      // Link weight is the delay in milliseconds.
+      Duration delay = static_cast<Duration>(weight * kMillisecond);
+      Datagram copy = *out;
+      NodeId next = neighbor;
+      NodeId prev = node;
+      sim_->Schedule(delay, [this, next, prev, copy]() {
+        Process(next, prev, copy);
+      });
+    } else {
+      delivered += Process(neighbor, node, *out, allowed);
+    }
+  }
+  return delivered;
+}
+
+size_t ContentBasedNetwork::Publish(NodeId node, const Datagram& datagram) {
+  COSMOS_CHECK(node >= 0 && node < num_nodes());
+  if (options_.advertisement_scoping) {
+    const std::set<NodeId>* publishers = PublishersOf(datagram.stream);
+    COSMOS_CHECK(publishers != nullptr && publishers->count(node) > 0);
+  }
+  return Process(node, /*from=*/-1, datagram);
+}
+
+Status ContentBasedNetwork::FailLink(NodeId u, NodeId v) {
+  if (!tree_.HasEdge(u, v)) {
+    return Status::NotFound(StrFormat("tree link (%d,%d)", u, v));
+  }
+  failed_links_.insert(DisseminationTree::EdgeKey(u, v));
+  return Status::OK();
+}
+
+void ContentBasedNetwork::ReinstallAllSubscriptions() {
+  for (auto& r : routers_) {
+    r = Router(r.id());
+  }
+  for (const auto& [id, sub] : subscriptions_) {
+    routers_[sub.node].AddLocal(id, sub.profile, sub.callback);
+    PropagateSubscription(sub.node, id, sub.profile);
+  }
+}
+
+Status ContentBasedNetwork::Repair(const Graph& overlay) {
+  if (failed_links_.empty()) return Status::OK();
+  if (overlay.num_nodes() != num_nodes()) {
+    return Status::InvalidArgument("overlay node count mismatch");
+  }
+  // Surviving tree edges.
+  std::vector<Edge> edges;
+  for (const auto& e : tree_.edges()) {
+    if (!LinkFailed(e.u, e.v)) edges.push_back(e);
+  }
+  // Reconnect components greedily: union-find over surviving edges, then
+  // for each failed link pick the cheapest overlay edge across the cut.
+  std::vector<int> parent(num_nodes());
+  for (int i = 0; i < num_nodes(); ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+  for (const auto& e : edges) unite(e.u, e.v);
+
+  size_t needed = failed_links_.size();
+  for (size_t round = 0; round < needed; ++round) {
+    // Find the cheapest healthy overlay edge across any remaining cut.
+    const Edge* best = nullptr;
+    for (const auto& cand : overlay.edges()) {
+      if (find(cand.u) == find(cand.v)) continue;
+      if (LinkFailed(cand.u, cand.v)) continue;
+      if (best == nullptr || cand.weight < best->weight) best = &cand;
+    }
+    if (best == nullptr) {
+      return Status::FailedPrecondition(
+          "overlay cannot reconnect the partitioned tree");
+    }
+    edges.push_back(*best);
+    unite(best->u, best->v);
+  }
+
+  COSMOS_ASSIGN_OR_RETURN(DisseminationTree repaired,
+                          DisseminationTree::FromEdges(num_nodes(), edges));
+  tree_ = std::move(repaired);
+  failed_links_.clear();
+  ReinstallAllSubscriptions();
+
+  // Flush buffered datagrams into the component they never reached; the
+  // restriction to that component guarantees no duplicate deliveries on the
+  // healthy side. (The retransmission itself travels over a recovery
+  // channel and is not charged to the byte counters.)
+  std::deque<Buffered> pending = std::move(buffered_);
+  buffered_.clear();
+  for (auto& b : pending) {
+    Process(b.entry, /*from=*/-1, b.datagram, &b.allowed);
+    ++recovered_datagrams_;
+  }
+  return Status::OK();
+}
+
+Status ContentBasedNetwork::RebuildTree(DisseminationTree tree) {
+  if (tree.num_nodes() != num_nodes()) {
+    return Status::InvalidArgument("tree node count mismatch");
+  }
+  tree_ = std::move(tree);
+  failed_links_.clear();
+  ReinstallAllSubscriptions();
+  return Status::OK();
+}
+
+double ContentBasedNetwork::WeightedBytes() const {
+  double total = 0.0;
+  for (const auto& [key, stats] : link_stats_) {
+    double w = tree_.EdgeWeight(key.first, key.second).value_or(1.0);
+    total += static_cast<double>(stats.bytes) * w;
+  }
+  return total;
+}
+
+size_t ContentBasedNetwork::TotalTableEntries() const {
+  size_t total = 0;
+  for (const auto& r : routers_) total += r.table().TotalEntries();
+  return total;
+}
+
+void ContentBasedNetwork::ResetStats() {
+  link_stats_.clear();
+  total_bytes_ = 0;
+  total_forwards_ = 0;
+  total_deliveries_ = 0;
+  control_messages_ = 0;
+  lost_datagrams_ = 0;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,183 @@
+#ifndef COSMOS_CBN_NETWORK_H_
+#define COSMOS_CBN_NETWORK_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "cbn/covering.h"
+#include "cbn/router.h"
+#include "overlay/dissemination_tree.h"
+#include "overlay/graph.h"
+#include "sim/simulator.h"
+
+namespace cosmos {
+
+// Per-link transfer statistics — the communication-cost model of every
+// experiment (bytes and datagrams that crossed the link, in either
+// direction).
+struct LinkStats {
+  uint64_t datagrams = 0;
+  uint64_t bytes = 0;
+};
+
+struct NetworkOptions {
+  // Early projection (paper §3.1 extension). Off reproduces a traditional
+  // filter-only CBN (ablation abl-proj).
+  bool early_projection = true;
+  // Covering-based pruning of subscription propagation (saves control
+  // messages when an already-forwarded profile covers the new one).
+  bool covering_prune = true;
+  // Advertisement scoping (paper §2: sources advertise their streams,
+  // processors advertise their result streams): subscription state is
+  // installed only on the tree paths from advertised publishers of the
+  // requested streams to the subscriber, instead of network-wide. Requires
+  // every publisher to Advertise() before publishing.
+  bool advertisement_scoping = false;
+  // Buffer datagrams that would cross a failed link and flush them after
+  // Repair() (data-layer high availability, paper §2's fault-tolerance
+  // module of the data layer).
+  bool buffer_on_failure = true;
+};
+
+// The content-based network: routers on every node of a dissemination tree.
+// Publishing floods the datagram along tree links that have covering
+// subscriptions (reverse-path content routing); subscriptions are profiles
+// propagated from the subscriber outward.
+//
+// When a Simulator is attached, forwarding hops are scheduled with the link
+// delay (edge weight, interpreted as milliseconds); otherwise delivery is
+// synchronous and immediate.
+class ContentBasedNetwork {
+ public:
+  explicit ContentBasedNetwork(DisseminationTree tree,
+                               NetworkOptions options = {},
+                               Simulator* sim = nullptr);
+
+  const DisseminationTree& tree() const { return tree_; }
+  int num_nodes() const { return tree_.num_nodes(); }
+
+  // Declares that `node` publishes `stream` (idempotent). Required before
+  // publishing when advertisement_scoping is on; otherwise optional
+  // bookkeeping. Installs the entries of existing subscriptions along the
+  // new publisher's paths.
+  void Advertise(NodeId node, const std::string& stream);
+
+  // Installs `profile` for a subscriber at `node`; `callback` fires on each
+  // delivered tuple. Returns the profile id (for Unsubscribe).
+  ProfileId Subscribe(NodeId node, Profile profile,
+                      DeliveryCallback callback);
+
+  // Removes the subscription everywhere. False when unknown.
+  bool Unsubscribe(ProfileId id);
+
+  // Publishes a datagram from `node` (a source or a processor emitting a
+  // result stream). Returns the number of local deliveries performed
+  // (synchronous mode) or scheduled so far (simulated mode).
+  size_t Publish(NodeId node, const Datagram& datagram);
+
+  // ---- fault tolerance (data-layer module of paper Figure 2) ----
+
+  // Takes the tree link (u,v) down. Traffic that would cross it is counted
+  // lost — or buffered for post-repair flushing when buffer_on_failure.
+  Status FailLink(NodeId u, NodeId v);
+
+  bool HasFailedLinks() const { return !failed_links_.empty(); }
+
+  // Repairs every failed link by splicing in the cheapest overlay edge
+  // across each cut, rebuilding all routing state from the subscription
+  // registry and flushing buffered datagrams. `overlay` must contain the
+  // current tree's surviving edges.
+  Status Repair(const Graph& overlay);
+
+  // Replaces the dissemination tree wholesale (the overlay optimizer's
+  // reorganization path): rebuilds every router's state from the
+  // subscription registry. Fails if `tree` has a different node count.
+  Status RebuildTree(DisseminationTree tree);
+
+  // ---- statistics ----
+  const std::map<std::pair<NodeId, NodeId>, LinkStats>& link_stats() const {
+    return link_stats_;
+  }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_datagrams_forwarded() const { return total_forwards_; }
+  uint64_t total_deliveries() const { return total_deliveries_; }
+  // Sum over links of bytes × link weight (delay-weighted traffic).
+  double WeightedBytes() const;
+  // Subscription control messages sent during propagation.
+  uint64_t control_messages() const { return control_messages_; }
+  // Datagram forwards dropped at failed links (buffered ones not counted).
+  uint64_t lost_datagrams() const { return lost_datagrams_; }
+  uint64_t buffered_datagrams() const { return buffered_.size(); }
+  // Buffered datagrams delivered into the cut-off component after Repair.
+  uint64_t recovered_datagrams() const { return recovered_datagrams_; }
+  // Sum of routing-table entries across all nodes (memory cost of
+  // subscription state; advertisement scoping shrinks it).
+  size_t TotalTableEntries() const;
+  void ResetStats();
+
+  const Router& router(NodeId node) const { return routers_[node]; }
+  const std::set<NodeId>* PublishersOf(const std::string& stream) const;
+
+ private:
+  struct Subscription {
+    NodeId node = -1;
+    ProfilePtr profile;
+    DeliveryCallback callback;
+  };
+
+  void PropagateSubscription(NodeId subscriber, ProfileId id,
+                             const ProfilePtr& profile);
+  // Installs routing entries for one subscription along the tree path from
+  // `publisher` to `subscriber` (advertisement-scoped propagation).
+  void InstallAlongPath(NodeId publisher, NodeId subscriber, ProfileId id,
+                        const ProfilePtr& profile);
+  // Nodes allowed to carry entries for this subscription; nullopt = all.
+  std::optional<std::set<NodeId>> ScopeOf(NodeId subscriber,
+                                          const Profile& profile) const;
+  // Processes `d` at `node` arriving from `from` (-1 = published locally).
+  // When `allowed` is non-null, forwarding is restricted to nodes with
+  // allowed[v] == true (post-repair flushing into the cut-off component).
+  size_t Process(NodeId node, NodeId from, const Datagram& d,
+                 const std::vector<bool>* allowed = nullptr);
+  // Membership of the component reachable from `start` without crossing
+  // failed links.
+  std::vector<bool> ComponentAvoidingFailures(NodeId start) const;
+  void AccountLink(NodeId u, NodeId v, const Datagram& d);
+  bool LinkFailed(NodeId u, NodeId v) const {
+    return failed_links_.count(DisseminationTree::EdgeKey(u, v)) > 0;
+  }
+  // Clears all routing state and reinstalls every live subscription.
+  void ReinstallAllSubscriptions();
+
+  DisseminationTree tree_;
+  NetworkOptions options_;
+  Simulator* sim_;
+  std::vector<Router> routers_;
+  ProjectionCache projection_cache_;
+  ProfileId next_profile_id_ = 1;
+
+  std::map<ProfileId, Subscription> subscriptions_;
+  std::map<std::string, std::set<NodeId>> advertisements_;
+  std::set<std::pair<NodeId, NodeId>> failed_links_;
+  struct Buffered {
+    NodeId entry;               // far endpoint of the failed link
+    std::vector<bool> allowed;  // far-component membership at buffer time
+    Datagram datagram;
+  };
+  std::deque<Buffered> buffered_;
+
+  std::map<std::pair<NodeId, NodeId>, LinkStats> link_stats_;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_forwards_ = 0;
+  uint64_t total_deliveries_ = 0;
+  uint64_t control_messages_ = 0;
+  uint64_t lost_datagrams_ = 0;
+  uint64_t recovered_datagrams_ = 0;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CBN_NETWORK_H_

@@ -1,0 +1,101 @@
+#include "cbn/router.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cosmos {
+
+const ProjectionCache::Plan& ProjectionCache::PlanFor(
+    const Schema& schema, const std::vector<std::string>& attrs) {
+  Key key{&schema, StrJoin(attrs, ",")};
+  auto it = plans_.find(key);
+  if (it != plans_.end()) return it->second;
+
+  Plan plan;
+  if (attrs.empty()) {
+    plan.identity = true;
+  } else {
+    std::vector<AttributeDef> defs;
+    // Preserve the source schema's attribute order.
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      const auto& def = schema.attribute(i);
+      if (std::find(attrs.begin(), attrs.end(), def.name) != attrs.end()) {
+        plan.indices.push_back(i);
+        defs.push_back(def);
+      }
+    }
+    if (plan.indices.size() == schema.num_attributes()) {
+      plan.identity = true;
+    } else {
+      plan.schema = std::make_shared<Schema>(schema.stream_name(),
+                                             std::move(defs));
+    }
+  }
+  return plans_.emplace(std::move(key), std::move(plan)).first->second;
+}
+
+Datagram ProjectionCache::Project(const Datagram& d,
+                                  const std::vector<std::string>& attrs) {
+  const Plan& plan = PlanFor(*d.tuple.schema(), attrs);
+  if (plan.identity) return d;
+  return Datagram{d.stream, d.tuple.Project(plan.indices, plan.schema)};
+}
+
+void Router::AddLocal(ProfileId id, ProfilePtr profile,
+                      DeliveryCallback callback) {
+  local_profiles_.emplace_back(id, std::move(profile));
+  local_callbacks_.push_back(std::move(callback));
+}
+
+bool Router::RemoveLocal(ProfileId id) {
+  for (size_t i = 0; i < local_profiles_.size(); ++i) {
+    if (local_profiles_[i].first == id) {
+      local_profiles_.erase(local_profiles_.begin() + static_cast<long>(i));
+      local_callbacks_.erase(local_callbacks_.begin() +
+                             static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Router::DeliverLocal(const Datagram& d, ProjectionCache& cache) {
+  size_t delivered = 0;
+  for (size_t i = 0; i < local_profiles_.size(); ++i) {
+    const Profile& p = *local_profiles_[i].second;
+    if (!p.Covers(d)) continue;
+    // Last-hop projection: the subscriber receives exactly P(stream).
+    Datagram out = cache.Project(d, p.ProjectionOf(d.stream));
+    if (local_callbacks_[i]) {
+      local_callbacks_[i](out.stream, out.tuple);
+    }
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::optional<Datagram> Router::DecideForward(const Datagram& d, NodeId link,
+                                              bool early_projection,
+                                              ProjectionCache& cache) const {
+  std::vector<const Profile*> matching = table_.MatchingProfiles(link, d);
+  if (matching.empty()) return std::nullopt;
+  if (!early_projection) return d;
+
+  // Union of the attributes any matching downstream profile still needs
+  // (its projection set plus its filters' attributes, so re-evaluation at
+  // later hops stays possible). Any profile wanting all attributes disables
+  // projection on this link.
+  std::set<std::string> needed;
+  for (const Profile* p : matching) {
+    std::vector<std::string> req = p->RequiredAttributes(d.stream);
+    if (req.empty()) return d;  // wants all attributes
+    needed.insert(req.begin(), req.end());
+  }
+  return cache.Project(
+      d, std::vector<std::string>(needed.begin(), needed.end()));
+}
+
+}  // namespace cosmos

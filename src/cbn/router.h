@@ -1,0 +1,90 @@
+#ifndef COSMOS_CBN_ROUTER_H_
+#define COSMOS_CBN_ROUTER_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cbn/routing_table.h"
+
+namespace cosmos {
+
+// Delivery callback of a local subscriber: receives the (possibly
+// projected) tuple of `stream`.
+using DeliveryCallback =
+    std::function<void(const std::string& stream, const Tuple& tuple)>;
+
+// Projects `d.tuple` onto `attrs` (schema attribute order preserved;
+// attributes missing from the current schema — already projected away
+// upstream — are skipped). Empty attrs = identity. Schemas are cached per
+// (source schema, attribute set) in `cache` to keep the hot path cheap.
+class ProjectionCache {
+ public:
+  Datagram Project(const Datagram& d, const std::vector<std::string>& attrs);
+
+ private:
+  struct Key {
+    const Schema* schema;
+    std::string attrs_key;
+    bool operator==(const Key& other) const {
+      return schema == other.schema && attrs_key == other.attrs_key;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<const void*>{}(k.schema) ^
+             std::hash<std::string>{}(k.attrs_key);
+    }
+  };
+  struct Plan {
+    std::shared_ptr<const Schema> schema;
+    std::vector<size_t> indices;
+    bool identity = false;
+  };
+
+  const Plan& PlanFor(const Schema& schema,
+                      const std::vector<std::string>& attrs);
+
+  std::unordered_map<Key, Plan, KeyHash> plans_;
+};
+
+// One CBN node: the per-link routing table plus local subscriptions.
+// Forwarding decisions are made here; the Network drives the hop-by-hop
+// traversal and accounts link bytes.
+class Router {
+ public:
+  explicit Router(NodeId id = -1) : id_(id) {}
+
+  NodeId id() const { return id_; }
+  RoutingTable& table() { return table_; }
+  const RoutingTable& table() const { return table_; }
+
+  void AddLocal(ProfileId id, ProfilePtr profile, DeliveryCallback callback);
+  bool RemoveLocal(ProfileId id);
+  const std::vector<std::pair<ProfileId, ProfilePtr>>& local_profiles() const {
+    return local_profiles_;
+  }
+
+  // Delivers `d` to every matching local subscriber, applying the
+  // subscriber's exact projection set P (last-hop projection, paper §3.1).
+  // Returns the number of deliveries.
+  size_t DeliverLocal(const Datagram& d, ProjectionCache& cache);
+
+  // One forwarding decision: the datagram to put on the wire toward `link`
+  // (early-projected to the union of required attributes of the matching
+  // profiles when `early_projection`), or nullopt when no profile matches.
+  std::optional<Datagram> DecideForward(const Datagram& d, NodeId link,
+                                        bool early_projection,
+                                        ProjectionCache& cache) const;
+
+ private:
+  NodeId id_;
+  RoutingTable table_;
+  std::vector<std::pair<ProfileId, ProfilePtr>> local_profiles_;
+  std::vector<DeliveryCallback> local_callbacks_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CBN_ROUTER_H_

@@ -1,0 +1,89 @@
+#include "cbn/routing_table.h"
+
+namespace cosmos {
+
+void RoutingTable::Add(NodeId link, ProfileId id, ProfilePtr profile) {
+  per_link_[link].push_back(Entry{id, std::move(profile)});
+}
+
+bool RoutingTable::AddUnique(NodeId link, ProfileId id, ProfilePtr profile) {
+  for (const auto& e : per_link_[link]) {
+    if (e.id == id) return false;
+  }
+  per_link_[link].push_back(Entry{id, std::move(profile)});
+  return true;
+}
+
+bool RoutingTable::Remove(NodeId link, ProfileId id) {
+  auto it = per_link_.find(link);
+  if (it == per_link_.end()) return false;
+  auto& entries = it->second;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id == id) {
+      entries.erase(entries.begin() + static_cast<long>(i));
+      if (entries.empty()) per_link_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t RoutingTable::RemoveEverywhere(ProfileId id) {
+  size_t removed = 0;
+  for (auto it = per_link_.begin(); it != per_link_.end();) {
+    auto& entries = it->second;
+    for (size_t i = 0; i < entries.size();) {
+      if (entries[i].id == id) {
+        entries.erase(entries.begin() + static_cast<long>(i));
+        ++removed;
+      } else {
+        ++i;
+      }
+    }
+    if (entries.empty()) {
+      it = per_link_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+const std::vector<RoutingTable::Entry>& RoutingTable::EntriesFor(
+    NodeId link) const {
+  static const std::vector<Entry> kEmpty;
+  auto it = per_link_.find(link);
+  if (it == per_link_.end()) return kEmpty;
+  return it->second;
+}
+
+std::vector<NodeId> RoutingTable::Links() const {
+  std::vector<NodeId> out;
+  out.reserve(per_link_.size());
+  for (const auto& [link, entries] : per_link_) out.push_back(link);
+  return out;
+}
+
+bool RoutingTable::LinkCovers(NodeId link, const Datagram& d) const {
+  for (const auto& e : EntriesFor(link)) {
+    if (e.profile->Covers(d)) return true;
+  }
+  return false;
+}
+
+std::vector<const Profile*> RoutingTable::MatchingProfiles(
+    NodeId link, const Datagram& d) const {
+  std::vector<const Profile*> out;
+  for (const auto& e : EntriesFor(link)) {
+    if (e.profile->Covers(d)) out.push_back(e.profile.get());
+  }
+  return out;
+}
+
+size_t RoutingTable::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& [link, entries] : per_link_) total += entries.size();
+  return total;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,56 @@
+#ifndef COSMOS_CBN_ROUTING_TABLE_H_
+#define COSMOS_CBN_ROUTING_TABLE_H_
+
+#include <map>
+#include <vector>
+
+#include "cbn/profile.h"
+#include "overlay/graph.h"
+
+namespace cosmos {
+
+// One node's content-based routing state: for every tree link (identified
+// by the neighbor node id), the profiles subscribed somewhere downstream
+// through that link. A datagram is forwarded onto a link iff some profile
+// in the link's entry list covers it.
+class RoutingTable {
+ public:
+  struct Entry {
+    ProfileId id = 0;
+    ProfilePtr profile;
+  };
+
+  void Add(NodeId link, ProfileId id, ProfilePtr profile);
+
+  // Adds unless an entry with `id` already exists on `link`; returns true
+  // when something was added (used by re-propagation after unsubscribes).
+  bool AddUnique(NodeId link, ProfileId id, ProfilePtr profile);
+
+  // Removes the entry with `id` on `link`; true when something was removed.
+  bool Remove(NodeId link, ProfileId id);
+
+  // Removes `id` from every link; returns number of entries removed.
+  size_t RemoveEverywhere(ProfileId id);
+
+  // Entries installed for `link` (empty when none).
+  const std::vector<Entry>& EntriesFor(NodeId link) const;
+
+  // Links that have at least one entry.
+  std::vector<NodeId> Links() const;
+
+  // True when any profile on `link` covers `d`.
+  bool LinkCovers(NodeId link, const Datagram& d) const;
+
+  // All profiles on `link` covering `d`.
+  std::vector<const Profile*> MatchingProfiles(NodeId link,
+                                               const Datagram& d) const;
+
+  size_t TotalEntries() const;
+
+ private:
+  std::map<NodeId, std::vector<Entry>> per_link_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CBN_ROUTING_TABLE_H_

@@ -1,0 +1,59 @@
+#ifndef COSMOS_COMMON_LOGGING_H_
+#define COSMOS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cosmos {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+// Defaults to kWarning so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define COSMOS_LOG(level)                                               \
+  ::cosmos::internal::LogMessage(::cosmos::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+// Fatal invariant check: aborts with the expression text when violated.
+#define COSMOS_CHECK(cond)                                           \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::cosmos::internal::CheckFailed(#cond, __FILE__, __LINE__);    \
+    }                                                                \
+  } while (false)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
+}  // namespace cosmos
+
+#endif  // COSMOS_COMMON_LOGGING_H_

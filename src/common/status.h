@@ -1,0 +1,158 @@
+#ifndef COSMOS_COMMON_STATUS_H_
+#define COSMOS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cosmos {
+
+// Error category for a failed operation. Kept deliberately small; the
+// human-readable message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kFailedPrecondition,
+  kParseError,
+};
+
+// Returns the canonical lower-case name of `code` (e.g. "invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+// Status is the result of a fallible operation that produces no value.
+// COSMOS does not use exceptions (see DESIGN.md); every fallible API
+// returns Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status. Accessing the value of
+// an errored Result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}
+  Result(Status status) : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    const Status* s = std::get_if<Status>(&repr_);
+    return s == nullptr ? kOkStatus : *s;
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const;
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+// Aborts with `status` printed; out-of-line to keep Result lean.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(repr_));
+}
+
+// Propagates an error Status from an expression producing Status.
+#define COSMOS_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::cosmos::Status cosmos_status_ = (expr);          \
+    if (!cosmos_status_.ok()) return cosmos_status_;   \
+  } while (false)
+
+// Evaluates `rexpr` (a Result<T>), propagating its error or assigning its
+// value to `lhs`.
+#define COSMOS_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  COSMOS_ASSIGN_OR_RETURN_IMPL_(                            \
+      COSMOS_STATUS_CONCAT_(cosmos_result_, __LINE__), lhs, rexpr)
+
+#define COSMOS_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
+
+#define COSMOS_STATUS_CONCAT_(a, b) COSMOS_STATUS_CONCAT_IMPL_(a, b)
+#define COSMOS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace cosmos
+
+#endif  // COSMOS_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+#ifndef COSMOS_COMMON_TIME_H_
+#define COSMOS_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace cosmos {
+
+// Application time domain T (paper §4, Definition 1): a discrete domain from
+// which tuple timestamps are drawn. We model it as microseconds since an
+// arbitrary epoch. All window arithmetic and the discrete-event simulator use
+// this representation.
+using Timestamp = int64_t;
+using Duration = int64_t;  // microseconds
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+// Sentinel for an unbounded window ([Range Unbounded] in CQL): T = infinity
+// turns the windowed relation into the whole stream history.
+inline constexpr Duration kInfiniteDuration =
+    std::numeric_limits<Duration>::max();
+
+// Sentinel for "no timestamp yet".
+inline constexpr Timestamp kInvalidTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+// Renders a duration with its most natural unit, e.g. "3h", "250ms",
+// "unbounded".
+std::string DurationToString(Duration d);
+
+inline std::string DurationToString(Duration d) {
+  if (d == kInfiniteDuration) return "unbounded";
+  if (d % kHour == 0 && d != 0) return std::to_string(d / kHour) + "h";
+  if (d % kMinute == 0 && d != 0) return std::to_string(d / kMinute) + "m";
+  if (d % kSecond == 0 && d != 0) return std::to_string(d / kSecond) + "s";
+  if (d % kMillisecond == 0 && d != 0)
+    return std::to_string(d / kMillisecond) + "ms";
+  return std::to_string(d) + "us";
+}
+
+}  // namespace cosmos
+
+#endif  // COSMOS_COMMON_TIME_H_

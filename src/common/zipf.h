@@ -1,0 +1,39 @@
+#ifndef COSMOS_COMMON_ZIPF_H_
+#define COSMOS_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cosmos {
+
+// Zipf(theta) sampler over ranks {0, ..., n-1}: rank k is drawn with
+// probability (1/(k+1)^theta) / H_{n,theta}. theta == 0 degenerates to the
+// uniform distribution, matching the paper's "uniform" workload knob; the
+// paper's zipf1.0 / zipf1.5 / zipf2 workloads use theta in {1.0, 1.5, 2.0}.
+//
+// Sampling uses the precomputed inverse CDF (binary search), O(log n) per
+// draw after O(n) setup.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double theta);
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Probability mass of rank k.
+  double pmf(size_t k) const;
+
+  // Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_COMMON_ZIPF_H_

@@ -1,0 +1,192 @@
+#include "core/grouping.h"
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+GroupingEngine::GroupingEngine(const Catalog* catalog,
+                               GroupingOptions options,
+                               RateEstimatorOptions rate_options,
+                               std::string name_prefix)
+    : catalog_(catalog), options_(options),
+      estimator_(catalog, rate_options),
+      name_prefix_(std::move(name_prefix)) {}
+
+const QueryGroup* GroupingEngine::FindGroup(uint64_t group_id) const {
+  auto it = groups_.find(group_id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+const QueryGroup* GroupingEngine::GroupOf(const std::string& query_id) const {
+  auto it = query_to_group_.find(query_id);
+  if (it == query_to_group_.end()) return nullptr;
+  return FindGroup(it->second);
+}
+
+Result<AnalyzedQuery> GroupingEngine::Recompose(QueryGroup& group) {
+  std::vector<const AnalyzedQuery*> members;
+  members.reserve(group.members.size());
+  for (const auto& m : group.members) members.push_back(&m);
+  return ComposeRepresentative(members, *catalog_,
+                               group.ResultStreamName());
+}
+
+Result<GroupingEngine::AddResult> GroupingEngine::AddQuery(
+    const std::string& query_id, const AnalyzedQuery& query) {
+  if (query_to_group_.count(query_id) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("query '%s' already grouped", query_id.c_str()));
+  }
+  const std::string signature = MergeSignature(query);
+  const double query_rate = estimator_.EstimateOutputRate(query);
+
+  // Greedy step: among compatible groups, find the max marginal benefit.
+  uint64_t best_group = 0;
+  double best_benefit = options_.min_benefit;
+  bool found = false;
+
+  auto [begin, end] = by_signature_.equal_range(signature);
+  size_t examined = 0;
+  for (auto it = begin; it != end && examined < options_.max_candidates;
+       ++it, ++examined) {
+    QueryGroup& g = groups_.at(it->second);
+    if (!MergeCompatible(g.representative, query)) continue;
+    // Rank by the fast merged-rate prediction; the winner is composed
+    // exactly once below. Merging the current representative with the
+    // newcomer contains all members (containment is transitive).
+    auto align = AlignSources(query, g.representative);
+    if (!align.has_value()) continue;
+    double merged_rate = estimator_.EstimateMergedOutputRate(
+        g.representative, query, *align);
+    double marginal = (g.representative_rate + query_rate) - merged_rate;
+    if (marginal > best_benefit) {
+      best_benefit = marginal;
+      best_group = it->second;
+      found = true;
+    }
+  }
+
+  AddResult result;
+  if (found) {
+    QueryGroup& g = groups_.at(best_group);
+    // Only bump the version (and thus the result stream name) when the
+    // representative actually widens — or when it contains the newcomer
+    // but does not project an attribute the newcomer's re-tightening
+    // profile must filter on (recomposition adds that projection).
+    bool widened = !QueryContains(g.representative, query) ||
+                   !SplittableFrom(query, g.representative);
+    if (widened) {
+      ++g.version;
+      std::vector<const AnalyzedQuery*> pair = {&g.representative, &query};
+      auto rep =
+          ComposeRepresentative(pair, *catalog_, g.ResultStreamName());
+      if (!rep.ok()) {
+        // Exact composition failed despite the estimate: fall back to a
+        // fresh singleton group below.
+        --g.version;
+        found = false;
+      } else {
+        g.representative = std::move(*rep);
+      }
+    }
+    if (found) {
+      g.member_ids.push_back(query_id);
+      g.members.push_back(query);
+      g.representative_rate =
+          estimator_.EstimateOutputRate(g.representative);
+      query_to_group_[query_id] = best_group;
+      result.group_id = best_group;
+      result.created_new_group = false;
+      result.representative_changed = widened;
+      result.marginal_benefit = best_benefit;
+      return result;
+    }
+  }
+
+  // Open a new singleton group.
+  QueryGroup g;
+  g.group_id = next_group_id_++;
+  g.version = 1;
+  g.name_prefix = name_prefix_;
+  g.member_ids.push_back(query_id);
+  g.members.push_back(query);
+  g.signature = signature;
+  // Re-analyze under the group's stream name so the representative's output
+  // schema carries the group result stream.
+  COSMOS_ASSIGN_OR_RETURN(
+      g.representative,
+      Analyze(query.ast(), *catalog_, g.ResultStreamName()));
+  g.representative_rate = estimator_.EstimateOutputRate(g.representative);
+
+  result.group_id = g.group_id;
+  result.created_new_group = true;
+  result.representative_changed = true;
+  result.marginal_benefit = 0.0;
+  query_to_group_[query_id] = g.group_id;
+  by_signature_.emplace(signature, g.group_id);
+  groups_.emplace(g.group_id, std::move(g));
+  return result;
+}
+
+Result<GroupingEngine::AddResult> GroupingEngine::RemoveQuery(
+    const std::string& query_id) {
+  auto it = query_to_group_.find(query_id);
+  if (it == query_to_group_.end()) {
+    return Status::NotFound(StrFormat("query '%s'", query_id.c_str()));
+  }
+  uint64_t gid = it->second;
+  QueryGroup& g = groups_.at(gid);
+  for (size_t i = 0; i < g.member_ids.size(); ++i) {
+    if (g.member_ids[i] == query_id) {
+      g.member_ids.erase(g.member_ids.begin() + static_cast<long>(i));
+      g.members.erase(g.members.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  query_to_group_.erase(it);
+
+  AddResult result;
+  result.group_id = gid;
+  if (g.members.empty()) {
+    // Drop the group entirely.
+    for (auto sit = by_signature_.begin(); sit != by_signature_.end();
+         ++sit) {
+      if (sit->second == gid) {
+        by_signature_.erase(sit);
+        break;
+      }
+    }
+    groups_.erase(gid);
+    result.representative_changed = true;
+    return result;
+  }
+  ++g.version;
+  COSMOS_ASSIGN_OR_RETURN(g.representative, Recompose(g));
+  g.representative_rate = estimator_.EstimateOutputRate(g.representative);
+  result.representative_changed = true;
+  return result;
+}
+
+double GroupingEngine::GroupingRatio() const {
+  if (query_to_group_.empty()) return 1.0;
+  return static_cast<double>(groups_.size()) /
+         static_cast<double>(query_to_group_.size());
+}
+
+double GroupingEngine::TotalMemberRate() const {
+  double total = 0.0;
+  for (const auto& [id, g] : groups_) {
+    for (const auto& m : g.members) {
+      total += estimator_.EstimateOutputRate(m);
+    }
+  }
+  return total;
+}
+
+double GroupingEngine::TotalRepresentativeRate() const {
+  double total = 0.0;
+  for (const auto& [id, g] : groups_) total += g.representative_rate;
+  return total;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,60 @@
+#ifndef COSMOS_CORE_MERGER_H_
+#define COSMOS_CORE_MERGER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/containment.h"
+#include "stream/catalog.h"
+
+namespace cosmos {
+
+// Representative-query composition (paper §4): given member queries with
+// overlapping results, produce one query q whose result contains every
+// member's result, by merging selection predicates (interval hulls), window
+// predicates (max) and projections (union). The loosened constraints are
+// re-tightened in per-user CBN profiles (core/profile_composer.h).
+//
+// Group restrictions (paper §4 plus the sound strengthening of Theorem 2
+// documented in DESIGN.md):
+//  - identical FROM stream sets (no self-joins), aligned by stream name;
+//  - identical equi-join sets and cross residuals;
+//  - for aggregate queries: identical aggregates, grouping, windows and
+//    equivalent selections (the representative is then just a rename).
+//
+// The representative additionally projects, per source:
+//  - every attribute on which member selections disagree (so user profiles
+//    can re-filter), and
+//  - the "timestamp" attribute of every source when member windows differ
+//    in a multi-stream query (so the Lemma-1 window condition can be
+//    re-imposed downstream). Merging fails if such a source lacks a
+//    "timestamp" attribute.
+
+// Cheap structural compatibility test (no catalog access): true when the
+// two queries are mergeable into one group.
+bool MergeCompatible(const AnalyzedQuery& a, const AnalyzedQuery& b);
+
+// Canonical signature string: two queries can only be group mates when
+// their signatures match. Used to index groups.
+std::string MergeSignature(const AnalyzedQuery& q);
+
+// True when a user profile can split `user`'s exact results out of `rep`'s
+// result stream: every user constraint that is tighter than the
+// representative's is on an attribute the representative projects, and —
+// for multi-stream queries with tighter windows — the representative
+// projects the per-source timestamps Lemma 1 needs. QueryContains(rep,
+// user) guarantees no rows are missing; this guarantees the surplus can be
+// filtered back out (core/profile_composer.h relies on it).
+bool SplittableFrom(const AnalyzedQuery& user, const AnalyzedQuery& rep);
+
+// Composes (and re-analyzes, against `catalog`) the representative of
+// `members` with result stream `result_name`. Fails when the members are
+// not group-compatible. Postcondition (property-tested):
+// QueryContains(rep, *m) for every member m.
+Result<AnalyzedQuery> ComposeRepresentative(
+    const std::vector<const AnalyzedQuery*>& members, const Catalog& catalog,
+    const std::string& result_name);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CORE_MERGER_H_

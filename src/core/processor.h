@@ -1,0 +1,109 @@
+#ifndef COSMOS_CORE_PROCESSOR_H_
+#define COSMOS_CORE_PROCESSOR_H_
+
+#include <map>
+#include <memory>
+
+#include "cbn/network.h"
+#include "core/grouping.h"
+#include "core/profile_composer.h"
+#include "overlay/optimizer.h"
+#include "query/unparser.h"
+#include "spe/wrapper.h"
+
+namespace cosmos {
+
+struct ProcessorOptions {
+  // Query merging on/off (off = one singleton group per query, the
+  // traditional per-query delivery of Figure 3a).
+  bool enable_merging = true;
+  GroupingOptions grouping;
+  RateEstimatorOptions rates;
+};
+
+// A COSMOS processor (paper §2, Figure 2): the query layer of one node.
+// The query-management module analyzes arriving CQL, maintains query
+// groups, keeps the group representatives installed on the local SPE
+// (through the pluggable wrapper), keeps the source-side CBN subscriptions
+// in sync, publishes representative result streams back into the CBN, and
+// installs the re-tightened per-user profiles that split shared result
+// streams (Figure 3b).
+class Processor {
+ public:
+  Processor(NodeId node, const Catalog* catalog,
+            ContentBasedNetwork* network, ProcessorOptions options = {});
+
+  NodeId node() const { return node_; }
+
+  // Handles a user query: the result tuples are delivered to `callback` at
+  // overlay node `user_node` through the CBN.
+  Status SubmitQuery(const std::string& query_id, const std::string& cql,
+                     NodeId user_node, DeliveryCallback callback);
+
+  Status RemoveQuery(const std::string& query_id);
+
+  // Everything needed to resubmit a query elsewhere (processor failover).
+  struct QueryRecord {
+    std::string query_id;
+    std::string cql;
+    NodeId user_node = -1;
+    DeliveryCallback callback;
+  };
+
+  // Tears down every query (SPE installations, source subscription, user
+  // profiles) and returns their records for re-homing.
+  std::vector<QueryRecord> DrainQueries();
+
+  const GroupingEngine& grouping() const { return grouping_; }
+  const NativeSpeWrapper& wrapper() const { return wrapper_; }
+  size_t num_queries() const { return queries_.size(); }
+
+  // Representative queries currently installed on the SPE.
+  size_t num_installed_representatives() const { return group_runtime_.size(); }
+
+  // Appends this processor's persistent flows for the overlay optimizer:
+  // source streams flowing publisher -> this node, and each member's split
+  // result stream flowing this node -> the member's user node (rates from
+  // the grouping engine's estimator).
+  void CollectFlows(std::vector<Flow>* flows) const;
+
+ private:
+  struct GroupRuntime {
+    uint64_t installed_version = 0;
+    std::string spe_query_id;
+    std::string result_stream;
+  };
+  struct QueryRuntime {
+    AnalyzedQuery analyzed;
+    std::string cql;  // original text, for failover resubmission
+    uint64_t group_id = 0;
+    NodeId user_node = -1;
+    DeliveryCallback callback;
+    ProfileId user_profile = 0;
+  };
+
+  // Brings the SPE installation and all member subscriptions of `group_id`
+  // in line with the grouping engine's current state.
+  Status SyncGroup(uint64_t group_id);
+  Status UninstallGroup(GroupRuntime& rt);
+
+  // The processor holds ONE data-layer subscription: the merged source
+  // profile of all installed representatives. Each plan re-applies its own
+  // selection, so over-delivery is filtered at the SPE, never duplicated —
+  // a tuple enters the engine exactly once.
+  void RefreshSourceSubscription();
+
+  NodeId node_;
+  const Catalog* catalog_;
+  ContentBasedNetwork* network_;
+  ProcessorOptions options_;
+  GroupingEngine grouping_;
+  NativeSpeWrapper wrapper_;
+  std::map<uint64_t, GroupRuntime> group_runtime_;
+  std::map<std::string, QueryRuntime> queries_;
+  ProfileId source_profile_ = 0;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CORE_PROCESSOR_H_

@@ -1,0 +1,97 @@
+#include "core/query_distribution.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+QueryDistributor::QueryDistributor(DistributionPolicy policy)
+    : policy_(policy) {}
+
+void QueryDistributor::AddProcessor(NodeId processor) {
+  if (!HasProcessor(processor)) {
+    processors_.push_back(processor);
+    load_[processor] = 0;
+  }
+}
+
+bool QueryDistributor::HasProcessor(NodeId processor) const {
+  return std::find(processors_.begin(), processors_.end(), processor) !=
+         processors_.end();
+}
+
+int QueryDistributor::LoadOf(NodeId processor) const {
+  auto it = load_.find(processor);
+  return it == load_.end() ? 0 : it->second;
+}
+
+Result<NodeId> QueryDistributor::Assign(const std::string& query_id,
+                                        const std::string& signature) {
+  if (processors_.empty()) {
+    return Status::FailedPrecondition("no processors registered");
+  }
+  if (placements_.count(query_id) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("query '%s' already assigned", query_id.c_str()));
+  }
+  NodeId chosen = -1;
+  switch (policy_) {
+    case DistributionPolicy::kRoundRobin:
+      chosen = processors_[round_robin_next_++ % processors_.size()];
+      break;
+    case DistributionPolicy::kLeastLoaded: {
+      chosen = processors_[0];
+      for (NodeId p : processors_) {
+        if (load_[p] < load_[chosen]) chosen = p;
+      }
+      break;
+    }
+    case DistributionPolicy::kSignatureAffinity: {
+      auto it = signature_home_.find(signature);
+      if (it != signature_home_.end() && HasProcessor(it->second)) {
+        chosen = it->second;
+      } else {
+        chosen = processors_[0];
+        for (NodeId p : processors_) {
+          if (load_[p] < load_[chosen]) chosen = p;
+        }
+        signature_home_[signature] = chosen;
+      }
+      break;
+    }
+  }
+  ++load_[chosen];
+  placements_[query_id] = Placement{chosen, signature};
+  return chosen;
+}
+
+Status QueryDistributor::RecordPlacement(const std::string& query_id,
+                                         const std::string& signature,
+                                         NodeId processor) {
+  if (!HasProcessor(processor)) {
+    return Status::NotFound(StrFormat("processor %d", processor));
+  }
+  if (placements_.count(query_id) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("query '%s' already assigned", query_id.c_str()));
+  }
+  ++load_[processor];
+  placements_[query_id] = Placement{processor, signature};
+  if (!signature.empty() && signature_home_.count(signature) == 0) {
+    signature_home_[signature] = processor;
+  }
+  return Status::OK();
+}
+
+Status QueryDistributor::Release(const std::string& query_id) {
+  auto it = placements_.find(query_id);
+  if (it == placements_.end()) {
+    return Status::NotFound(StrFormat("query '%s'", query_id.c_str()));
+  }
+  --load_[it->second.processor];
+  placements_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace cosmos

@@ -1,0 +1,66 @@
+#ifndef COSMOS_CORE_QUERY_DISTRIBUTION_H_
+#define COSMOS_CORE_QUERY_DISTRIBUTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "overlay/graph.h"
+
+namespace cosmos {
+
+// How the load-management service picks the processor for a new query
+// (paper §2: "a user query is first distributed to a processor by the load
+// management service").
+enum class DistributionPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  // Prefer a processor that already hosts a group with the same merge
+  // signature (maximizes merging opportunities), falling back to least
+  // loaded. This is the policy COSMOS wants: co-locating overlapping
+  // queries is what makes the query-merging layer effective.
+  kSignatureAffinity,
+};
+
+// Tracks per-processor load and signature placement and assigns queries.
+class QueryDistributor {
+ public:
+  explicit QueryDistributor(
+      DistributionPolicy policy = DistributionPolicy::kSignatureAffinity);
+
+  void AddProcessor(NodeId processor);
+  bool HasProcessor(NodeId processor) const;
+  const std::vector<NodeId>& processors() const { return processors_; }
+
+  // Picks a processor for a query with `signature`; records the placement.
+  Result<NodeId> Assign(const std::string& query_id,
+                        const std::string& signature);
+
+  // Force-records an existing placement (used when rebuilding distributor
+  // state after a processor failure). The processor must be registered.
+  Status RecordPlacement(const std::string& query_id,
+                         const std::string& signature, NodeId processor);
+
+  // Releases a previous placement.
+  Status Release(const std::string& query_id);
+
+  int LoadOf(NodeId processor) const;
+
+ private:
+  DistributionPolicy policy_;
+  std::vector<NodeId> processors_;
+  std::map<NodeId, int> load_;
+  size_t round_robin_next_ = 0;
+  // signature -> processor hosting queries of that signature.
+  std::map<std::string, NodeId> signature_home_;
+  struct Placement {
+    NodeId processor;
+    std::string signature;
+  };
+  std::map<std::string, Placement> placements_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CORE_QUERY_DISTRIBUTION_H_

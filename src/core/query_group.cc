@@ -1,0 +1,14 @@
+#include "core/query_group.h"
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+std::string QueryGroup::ResultStreamName() const {
+  return name_prefix +
+         StrFormat("grp_%llu_v%llu",
+                   static_cast<unsigned long long>(group_id),
+                   static_cast<unsigned long long>(version));
+}
+
+}  // namespace cosmos

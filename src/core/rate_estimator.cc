@@ -1,0 +1,177 @@
+#include "core/rate_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "expr/implication.h"
+#include "expr/relaxation.h"
+
+namespace cosmos {
+
+RateEstimator::RateEstimator(const Catalog* catalog,
+                             RateEstimatorOptions options)
+    : catalog_(catalog), options_(options) {}
+
+double RateEstimator::FilteredInputRate(const AnalyzedQuery& q,
+                                        size_t i) const {
+  const ResolvedSource& src = q.sources()[i];
+  double rate = 1.0;
+  auto info = catalog_->Lookup(src.from.stream);
+  if (info.ok()) rate = info->rate_tuples_per_sec;
+  double sel = q.local_selection(i).EstimateSelectivity(
+      *src.schema, options_.default_eq_selectivity,
+      options_.residual_selectivity);
+  return rate * sel;
+}
+
+double RateEstimator::JoinSelectivity(const AnalyzedQuery& q) const {
+  double sel = 1.0;
+  for (const auto& j : q.equi_joins()) {
+    const auto& def =
+        q.sources()[j.left_source].schema->attribute(j.left_attr);
+    if (def.has_range && def.max > def.min) {
+      // Integer-ish key domain: 1 / domain size.
+      sel *= 1.0 / std::max(1.0, def.max - def.min);
+    } else {
+      sel *= options_.default_join_selectivity;
+    }
+  }
+  for (size_t k = 0; k < q.cross_residual().size(); ++k) {
+    sel *= options_.residual_selectivity;
+  }
+  return sel;
+}
+
+double RateEstimator::EstimateTupleRate(const AnalyzedQuery& q) const {
+  const size_t n = q.sources().size();
+  if (n == 1) {
+    // Selection output; aggregation emits one refreshed row per arrival.
+    return FilteredInputRate(q, 0);
+  }
+  // Two-way sliding-window join: lambda1 * lambda2 * sel * (T1 + T2),
+  // the classic expected-match model (each arrival probes the other side's
+  // window population).
+  double r0 = FilteredInputRate(q, 0);
+  double r1 = FilteredInputRate(q, 1);
+  double t0 = q.WindowSize(0) == kInfiniteDuration
+                  ? 3600.0  // treat unbounded as an hour of history
+                  : static_cast<double>(q.WindowSize(0)) / kSecond;
+  double t1 = q.WindowSize(1) == kInfiniteDuration
+                  ? 3600.0
+                  : static_cast<double>(q.WindowSize(1)) / kSecond;
+  double sel = JoinSelectivity(q);
+  return r0 * r1 * sel * (t0 + t1);
+}
+
+double RateEstimator::EstimateOutputRate(const AnalyzedQuery& q) const {
+  return EstimateTupleRate(q) *
+         static_cast<double>(q.output_schema()->EstimatedRowWidth() + 8);
+}
+
+double RateEstimator::EstimateMergedOutputRate(
+    const AnalyzedQuery& a, const AnalyzedQuery& b,
+    const std::vector<size_t>& b_to_a) const {
+  // Aggregate group mates are equivalent (DESIGN.md): no widening happens.
+  if (a.is_aggregate()) return EstimateOutputRate(a);
+  const size_t n = a.sources().size();
+
+  // Per-source merged selectivity (hull) and window (max).
+  double tuple_rate = 0.0;
+  std::vector<double> filtered(n, 0.0);
+  std::vector<double> windows_sec(n, 0.0);
+  bool windows_differ = false;
+  bool selections_differ = false;
+  for (size_t ai = 0; ai < n; ++ai) {
+    // Index of a-source ai within b.
+    size_t bi = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (b_to_a[k] == ai) bi = k;
+    }
+    ConjunctiveClause hull =
+        ClauseHull(a.local_selection(ai), b.local_selection(bi));
+    if (!ClauseImplies(hull, a.local_selection(ai)) ||
+        !ClauseImplies(hull, b.local_selection(bi))) {
+      selections_differ = true;
+    }
+    const auto& src = a.sources()[ai];
+    double rate = 1.0;
+    auto info = catalog_->Lookup(src.from.stream);
+    if (info.ok()) rate = info->rate_tuples_per_sec;
+    filtered[ai] = rate * hull.EstimateSelectivity(
+                              *src.schema, options_.default_eq_selectivity,
+                              options_.residual_selectivity);
+    Duration wa = a.WindowSize(ai);
+    Duration wb = b.WindowSize(bi);
+    if (wa != wb) windows_differ = true;
+    Duration w = (wa == kInfiniteDuration || wb == kInfiniteDuration)
+                     ? kInfiniteDuration
+                     : std::max(wa, wb);
+    windows_sec[ai] = (w == kInfiniteDuration)
+                          ? 3600.0
+                          : static_cast<double>(w) / kSecond;
+  }
+  if (n == 1) {
+    tuple_rate = filtered[0];
+  } else {
+    tuple_rate = filtered[0] * filtered[1] * JoinSelectivity(a) *
+                 (windows_sec[0] + windows_sec[1]);
+  }
+
+  // Merged output width: union of projected (a-source, attr) pairs, plus
+  // the attributes re-filtering will need.
+  std::set<std::pair<size_t, std::string>> attrs;
+  for (const auto& c : a.output_columns()) {
+    attrs.insert({c.source,
+                  a.sources()[c.source].schema->attribute(c.attr).name});
+  }
+  for (const auto& c : b.output_columns()) {
+    attrs.insert({b_to_a[c.source],
+                  b.sources()[c.source].schema->attribute(c.attr).name});
+  }
+  if (selections_differ) {
+    for (size_t ai = 0; ai < n; ++ai) {
+      size_t bi = 0;
+      for (size_t k = 0; k < n; ++k) {
+        if (b_to_a[k] == ai) bi = k;
+      }
+      for (const auto& [attr, c] : a.local_selection(ai).constraints()) {
+        attrs.insert({ai, attr});
+      }
+      for (const auto& [attr, c] : b.local_selection(bi).constraints()) {
+        attrs.insert({ai, attr});
+      }
+    }
+  }
+  if (windows_differ && n > 1) {
+    for (size_t ai = 0; ai < n; ++ai) attrs.insert({ai, "timestamp"});
+  }
+  double width = 8.0;  // timestamp header
+  for (const auto& [si, name] : attrs) {
+    auto def = a.sources()[si].schema->FindAttribute(name);
+    if (!def.ok()) continue;
+    switch (def->type) {
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        width += 8;
+        break;
+      case ValueType::kString:
+        width += 20;
+        break;
+      default:
+        width += 1;
+        break;
+    }
+  }
+  return tuple_rate * width;
+}
+
+double RateEstimator::MergeBenefit(
+    const std::vector<const AnalyzedQuery*>& members,
+    const AnalyzedQuery& rep) const {
+  double total = 0.0;
+  for (const auto* m : members) total += EstimateOutputRate(*m);
+  return total - EstimateOutputRate(rep);
+}
+
+}  // namespace cosmos

@@ -1,0 +1,59 @@
+#ifndef COSMOS_CORE_RATE_ESTIMATOR_H_
+#define COSMOS_CORE_RATE_ESTIMATOR_H_
+
+#include "query/analyzer.h"
+#include "stream/catalog.h"
+
+namespace cosmos {
+
+// The C(q) model of the paper's benefit estimate Σᵢ C(qᵢ) − C(q): the
+// expected rate (bytes per second) of a query's result stream, derived from
+// catalog arrival rates, uniform-range selectivity of the canonical
+// selections, a window-join output model, and schema row widths.
+struct RateEstimatorOptions {
+  // Equality selectivity used when an attribute has no declared range.
+  double default_eq_selectivity = 0.1;
+  // Selectivity charged per opaque residual conjunct.
+  double residual_selectivity = 0.5;
+  // Join-key match probability when the key domain size is unknown.
+  double default_join_selectivity = 0.01;
+};
+
+class RateEstimator {
+ public:
+  explicit RateEstimator(const Catalog* catalog,
+                         RateEstimatorOptions options = {});
+
+  // Tuples per second entering source `i` of `q` after its local selection.
+  double FilteredInputRate(const AnalyzedQuery& q, size_t i) const;
+
+  // Result tuples per second.
+  double EstimateTupleRate(const AnalyzedQuery& q) const;
+
+  // C(q): result bytes per second (tuple rate × output row width).
+  double EstimateOutputRate(const AnalyzedQuery& q) const;
+
+  // The benefit of merging `members` into `rep` (paper §4):
+  // Σ C(member) − C(rep). Positive = merging saves bandwidth.
+  double MergeBenefit(const std::vector<const AnalyzedQuery*>& members,
+                      const AnalyzedQuery& rep) const;
+
+  // Fast prediction of C(merge(a, b)) without composing the merged query:
+  // hulls the selections, maxes the windows and unions the projections
+  // directly. Used by the greedy grouping loop to rank candidate groups;
+  // the winner is then composed exactly once. `b_to_a` aligns b's sources
+  // onto a's (AlignSources(b, a)).
+  double EstimateMergedOutputRate(const AnalyzedQuery& a,
+                                  const AnalyzedQuery& b,
+                                  const std::vector<size_t>& b_to_a) const;
+
+ private:
+  double JoinSelectivity(const AnalyzedQuery& q) const;
+
+  const Catalog* catalog_;
+  RateEstimatorOptions options_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_CORE_RATE_ESTIMATOR_H_

@@ -1,0 +1,90 @@
+#include "core/statistics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cosmos {
+
+RateMonitor::RateMonitor(Duration window) : window_(window) {
+  COSMOS_CHECK(window > 0);
+}
+
+void RateMonitor::Record(const std::string& stream, Timestamp ts,
+                         size_t bytes) {
+  Series& s = series_[stream];
+  s.events.emplace_back(ts, bytes);
+  s.window_bytes += bytes;
+  ++s.total_tuples;
+  if (s.max_ts == kInvalidTimestamp || ts > s.max_ts) s.max_ts = ts;
+  // Keep memory bounded even without rate queries.
+  Prune(s, s.max_ts);
+}
+
+void RateMonitor::Prune(const Series& s, Timestamp now) const {
+  const Timestamp cutoff = now - window_;
+  while (!s.events.empty() && s.events.front().first < cutoff) {
+    s.window_bytes -= s.events.front().second;
+    s.events.pop_front();
+  }
+}
+
+double RateMonitor::SpanSeconds(const Series& s, Timestamp now) const {
+  if (s.events.empty()) return 0.0;
+  Timestamp oldest = s.events.front().first;
+  Duration span = std::min<Duration>(window_, now - oldest);
+  // A single sample spans at least one second so rates stay finite.
+  return std::max(1.0, static_cast<double>(span) / kSecond);
+}
+
+double RateMonitor::TupleRate(const std::string& stream,
+                              Timestamp now) const {
+  auto it = series_.find(stream);
+  if (it == series_.end()) return 0.0;
+  Prune(it->second, now);
+  if (it->second.events.empty()) return 0.0;
+  return static_cast<double>(it->second.events.size()) /
+         SpanSeconds(it->second, now);
+}
+
+double RateMonitor::ByteRate(const std::string& stream, Timestamp now) const {
+  auto it = series_.find(stream);
+  if (it == series_.end()) return 0.0;
+  Prune(it->second, now);
+  if (it->second.events.empty()) return 0.0;
+  return static_cast<double>(it->second.window_bytes) /
+         SpanSeconds(it->second, now);
+}
+
+size_t RateMonitor::WindowCount(const std::string& stream,
+                                Timestamp now) const {
+  auto it = series_.find(stream);
+  if (it == series_.end()) return 0;
+  Prune(it->second, now);
+  return it->second.events.size();
+}
+
+uint64_t RateMonitor::TotalTuples(const std::string& stream) const {
+  auto it = series_.find(stream);
+  return it == series_.end() ? 0 : it->second.total_tuples;
+}
+
+size_t RateMonitor::CalibrateCatalog(Catalog& catalog, Timestamp now) const {
+  size_t updated = 0;
+  for (const auto& [stream, s] : series_) {
+    if (!catalog.HasStream(stream)) continue;
+    double rate = TupleRate(stream, now);
+    if (rate <= 0.0) continue;
+    if (catalog.UpdateRate(stream, rate).ok()) ++updated;
+  }
+  return updated;
+}
+
+std::vector<std::string> RateMonitor::ObservedStreams() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [stream, s] : series_) out.push_back(stream);
+  return out;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,178 @@
+#include "core/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cosmos {
+namespace {
+
+// Numeric attributes with declared ranges — the predicate/projection menu.
+std::vector<const AttributeDef*> UsableAttributes(const Schema& schema) {
+  std::vector<const AttributeDef*> out;
+  for (const auto& def : schema.attributes()) {
+    if (def.has_range && def.type == ValueType::kDouble) {
+      out.push_back(&def);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryWorkloadGenerator::QueryWorkloadGenerator(const Catalog* catalog,
+                                               WorkloadOptions options)
+    : catalog_(catalog),
+      options_(options),
+      rng_(options.seed),
+      streams_(catalog->StreamNames()),
+      stream_dist_(std::max<size_t>(1, streams_.size()), options.zipf_theta),
+      window_dist_(options.window_menu.size(), options.zipf_theta),
+      width_dist_(options.width_menu.size(), options.zipf_theta),
+      offset_dist_(static_cast<size_t>(options.num_offsets),
+                   options.zipf_theta) {
+  COSMOS_CHECK(!streams_.empty());
+}
+
+void QueryWorkloadGenerator::Reseed(uint64_t seed) { rng_ = Rng(seed); }
+
+size_t QueryWorkloadGenerator::SampleIndex(const ZipfDistribution& dist) {
+  return dist.Sample(rng_);
+}
+
+std::string QueryWorkloadGenerator::NextCql() {
+  const std::string& stream = streams_[SampleIndex(stream_dist_)];
+  auto schema = catalog_->LookupSchema(stream).value_or(nullptr);
+  COSMOS_CHECK(schema != nullptr);
+
+  if (options_.join_fraction > 0 && rng_.NextBool(options_.join_fraction) &&
+      streams_.size() >= 2) {
+    std::string other = stream;
+    int guard = 0;
+    while (other == stream && guard++ < 64) {
+      other = streams_[SampleIndex(stream_dist_)];
+    }
+    if (other != stream) {
+      auto other_schema = catalog_->LookupSchema(other).value_or(nullptr);
+      COSMOS_CHECK(other_schema != nullptr);
+      return MakeJoin(stream, *schema, other, *other_schema);
+    }
+  }
+  if (options_.aggregate_fraction > 0 &&
+      rng_.NextBool(options_.aggregate_fraction)) {
+    return MakeAggregate(stream, *schema);
+  }
+  return MakeSelectProject(stream, *schema);
+}
+
+std::string QueryWorkloadGenerator::MakeSelectProject(
+    const std::string& stream, const Schema& schema) {
+  auto usable = UsableAttributes(schema);
+  COSMOS_CHECK(!usable.empty());
+  ZipfDistribution attr_dist(usable.size(), options_.zipf_theta);
+
+  // Projection: 1..max_projected distinct attributes (Zipf-headed).
+  int nproj = 1 + static_cast<int>(rng_.NextBounded(
+                      static_cast<uint64_t>(options_.max_projected)));
+  std::vector<std::string> proj;
+  for (int i = 0; i < nproj * 4 && static_cast<int>(proj.size()) < nproj;
+       ++i) {
+    const std::string& name = usable[SampleIndex(attr_dist)]->name;
+    if (std::find(proj.begin(), proj.end(), name) == proj.end()) {
+      proj.push_back(name);
+    }
+  }
+
+  // Window.
+  Duration window = options_.window_menu[SampleIndex(window_dist_)];
+
+  // Predicates: Poisson-ish 0..2 with mean mean_predicates.
+  int npred = 0;
+  double p1 = std::min(1.0, options_.mean_predicates / 2.0);
+  if (rng_.NextBool(p1)) ++npred;
+  if (rng_.NextBool(p1)) ++npred;
+
+  std::vector<std::string> preds;
+  std::vector<std::string> used_attrs;
+  for (int i = 0; i < npred; ++i) {
+    const AttributeDef* attr = usable[SampleIndex(attr_dist)];
+    if (std::find(used_attrs.begin(), used_attrs.end(), attr->name) !=
+        used_attrs.end()) {
+      continue;
+    }
+    used_attrs.push_back(attr->name);
+    double domain = attr->max - attr->min;
+    double width = options_.width_menu[SampleIndex(width_dist_)];
+    size_t max_off = static_cast<size_t>(options_.num_offsets);
+    double offset =
+        static_cast<double>(SampleIndex(offset_dist_) % max_off) /
+        static_cast<double>(max_off);
+    offset = std::min(offset, 1.0 - width);
+    if (offset < 0) offset = 0;
+    double lo = attr->min + offset * domain;
+    double hi = std::min(attr->max, lo + width * domain);
+    preds.push_back(StrFormat("%s >= %.4f AND %s <= %.4f",
+                              attr->name.c_str(), lo, attr->name.c_str(),
+                              hi));
+  }
+
+  std::string cql = "SELECT " + StrJoin(proj, ", ") + " FROM " + stream +
+                    " " + WindowSpec{window}.ToString();
+  if (!preds.empty()) {
+    cql += " WHERE " + StrJoin(preds, " AND ");
+  }
+  return cql;
+}
+
+std::string QueryWorkloadGenerator::MakeAggregate(const std::string& stream,
+                                                  const Schema& schema) {
+  auto usable = UsableAttributes(schema);
+  COSMOS_CHECK(!usable.empty());
+  ZipfDistribution attr_dist(usable.size(), options_.zipf_theta);
+  const AttributeDef* attr = usable[SampleIndex(attr_dist)];
+  Duration window = options_.window_menu[SampleIndex(window_dist_)];
+  const char* funcs[] = {"AVG", "MIN", "MAX", "SUM", "COUNT"};
+  const char* func = funcs[rng_.NextBounded(5)];
+
+  std::string group_col =
+      schema.HasAttribute("station_id") ? "station_id" : usable[0]->name;
+  return StrFormat("SELECT %s, %s(%s) FROM %s %s GROUP BY %s",
+                   group_col.c_str(), func, attr->name.c_str(),
+                   stream.c_str(), WindowSpec{window}.ToString().c_str(),
+                   group_col.c_str());
+}
+
+std::string QueryWorkloadGenerator::MakeJoin(const std::string& left,
+                                             const Schema& lschema,
+                                             const std::string& right,
+                                             const Schema& rschema) {
+  // Join two sensor streams on a shared attribute when available
+  // (station_id never matches across stations, so prefer a coarse bucketed
+  // measurement — here we use equality on station_id only when schemas are
+  // heterogeneous; for the homogeneous sensor fleet this produces a
+  // cross-station correlation query on the first shared ranged attribute).
+  auto lu = UsableAttributes(lschema);
+  auto ru = UsableAttributes(rschema);
+  COSMOS_CHECK(!lu.empty() && !ru.empty());
+  std::string join_attr;
+  for (const auto* a : lu) {
+    if (rschema.HasAttribute(a->name)) {
+      join_attr = a->name;
+      break;
+    }
+  }
+  Duration lw = options_.window_menu[SampleIndex(window_dist_)];
+  Duration rw = options_.window_menu[SampleIndex(window_dist_)];
+  std::string cql = StrFormat(
+      "SELECT L.%s, R.%s FROM %s %s L, %s %s R", lu[0]->name.c_str(),
+      ru[0]->name.c_str(), left.c_str(), WindowSpec{lw}.ToString().c_str(),
+      right.c_str(), WindowSpec{rw}.ToString().c_str());
+  if (!join_attr.empty()) {
+    cql += StrFormat(" WHERE L.%s = R.%s", join_attr.c_str(),
+                     join_attr.c_str());
+  }
+  return cql;
+}
+
+}  // namespace cosmos

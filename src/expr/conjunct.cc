@@ -1,0 +1,452 @@
+#include "expr/conjunct.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "expr/evaluator.h"
+
+namespace cosmos {
+
+bool AttrConstraint::IsUnsatisfiable() const {
+  if (interval.IsEmpty()) return true;
+  if (eq.has_value()) {
+    for (const auto& v : neq) {
+      if (*eq == v) return true;
+    }
+    // Numeric equality conflicting with the interval.
+    if (eq->is_numeric() && !interval.Contains(eq->NumericValue())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AttrConstraint::Matches(const Value& v) const {
+  if (v.is_numeric()) {
+    if (!interval.Contains(v.NumericValue())) return false;
+  } else if (!interval.IsAll()) {
+    return false;  // numeric constraint on non-numeric value
+  }
+  if (eq.has_value()) {
+    auto cmp = v.Compare(*eq);
+    if (!cmp.ok() || *cmp != 0) return false;
+  }
+  for (const auto& x : neq) {
+    auto cmp = v.Compare(x);
+    if (cmp.ok() && *cmp == 0) return false;
+  }
+  return true;
+}
+
+std::string AttrConstraint::ToString(const std::string& attr) const {
+  std::vector<std::string> parts;
+  if (!interval.IsAll()) {
+    parts.push_back(attr + " in " + interval.ToString());
+  }
+  if (eq.has_value()) parts.push_back(attr + " = " + eq->ToString());
+  for (const auto& v : neq) parts.push_back(attr + " != " + v.ToString());
+  if (parts.empty()) return attr + " unconstrained";
+  return StrJoin(parts, " AND ");
+}
+
+void ConjunctiveClause::ConstrainInterval(const std::string& attribute,
+                                          const Interval& interval) {
+  auto& c = constraints_[attribute];
+  c.interval = c.interval.Intersect(interval);
+}
+
+void ConjunctiveClause::ConstrainEquals(const std::string& attribute,
+                                        Value v) {
+  if (v.is_numeric()) {
+    ConstrainInterval(attribute, Interval::Point(v.NumericValue()));
+    return;
+  }
+  auto& c = constraints_[attribute];
+  if (c.eq.has_value() && !(*c.eq == v)) {
+    // Two different equalities: unsatisfiable; encode via empty interval.
+    c.interval = Interval::Empty();
+    return;
+  }
+  c.eq = std::move(v);
+}
+
+void ConjunctiveClause::ConstrainNotEquals(const std::string& attribute,
+                                           Value v) {
+  if (v.is_numeric()) {
+    // A numeric disequality is not representable as one interval; keep it in
+    // the residual so evaluation stays exact.
+    AddResidual(MakeCompare(CompareOp::kNe, MakeColumn(attribute),
+                            MakeLiteral(std::move(v))));
+    return;
+  }
+  auto& c = constraints_[attribute];
+  for (const auto& existing : c.neq) {
+    if (existing == v) return;
+  }
+  c.neq.push_back(std::move(v));
+}
+
+void ConjunctiveClause::AddResidual(ExprPtr expr) {
+  residual_.push_back(std::move(expr));
+}
+
+AttrConstraint ConjunctiveClause::ConstraintFor(
+    const std::string& attribute) const {
+  auto it = constraints_.find(attribute);
+  if (it == constraints_.end()) return AttrConstraint{};
+  return it->second;
+}
+
+bool ConjunctiveClause::IsUnsatisfiable() const {
+  for (const auto& [attr, c] : constraints_) {
+    if (c.IsUnsatisfiable()) return true;
+  }
+  return false;
+}
+
+bool ConjunctiveClause::MatchesCanonical(const Tuple& tuple) const {
+  for (const auto& [attr, c] : constraints_) {
+    ColumnRefExpr col("", attr);
+    auto idx = ResolveColumn(*tuple.schema(), col);
+    if (!idx.has_value()) return false;
+    if (!c.Matches(tuple.value(*idx))) return false;
+  }
+  return true;
+}
+
+ExprPtr ConstraintToExpr(const ExprPtr& column, const AttrConstraint& c) {
+  std::vector<ExprPtr> conjuncts;
+  const Interval& iv = c.interval;
+  if (iv.IsEmpty()) {
+    // FALSE: encode as the impossible comparison 1 = 0.
+    return MakeCompare(CompareOp::kEq, MakeLiteral(Value(int64_t{1})),
+                       MakeLiteral(Value(int64_t{0})));
+  }
+  if (iv.IsPoint()) {
+    conjuncts.push_back(
+        MakeCompare(CompareOp::kEq, column, MakeLiteral(Value(iv.lo()))));
+  } else {
+    if (!iv.lo_unbounded()) {
+      conjuncts.push_back(
+          MakeCompare(iv.lo_open() ? CompareOp::kGt : CompareOp::kGe, column,
+                      MakeLiteral(Value(iv.lo()))));
+    }
+    if (!iv.hi_unbounded()) {
+      conjuncts.push_back(
+          MakeCompare(iv.hi_open() ? CompareOp::kLt : CompareOp::kLe, column,
+                      MakeLiteral(Value(iv.hi()))));
+    }
+  }
+  if (c.eq.has_value()) {
+    conjuncts.push_back(MakeCompare(CompareOp::kEq, column,
+                                    MakeLiteral(*c.eq)));
+  }
+  for (const auto& v : c.neq) {
+    conjuncts.push_back(MakeCompare(CompareOp::kNe, column, MakeLiteral(v)));
+  }
+  if (conjuncts.empty()) return nullptr;
+  return MakeAnd(std::move(conjuncts));
+}
+
+ExprPtr ConjunctiveClause::ToExpr() const {
+  std::vector<ExprPtr> conjuncts;
+  for (const auto& [attr, c] : constraints_) {
+    ExprPtr piece = ConstraintToExpr(MakeColumn(attr), c);
+    if (piece != nullptr) conjuncts.push_back(std::move(piece));
+  }
+  for (const auto& r : residual_) conjuncts.push_back(r);
+  if (conjuncts.empty()) return nullptr;
+  return MakeAnd(std::move(conjuncts));
+}
+
+double ConjunctiveClause::EstimateSelectivity(
+    const Schema& schema, double default_eq_selectivity,
+    double residual_selectivity) const {
+  double sel = 1.0;
+  for (const auto& [attr, c] : constraints_) {
+    // Strip a qualifier if the schema stores bare names.
+    std::string bare = attr;
+    if (auto dot = attr.rfind('.'); dot != std::string::npos &&
+                                    !schema.HasAttribute(attr)) {
+      bare = attr.substr(dot + 1);
+    }
+    double factor = 1.0;
+    if (!c.interval.IsAll()) {
+      auto def = schema.FindAttribute(schema.HasAttribute(attr) ? attr : bare);
+      if (def.ok() && def->has_range) {
+        factor *= c.interval.SelectivityWithin(def->min, def->max);
+      } else if (c.interval.IsPoint()) {
+        factor *= default_eq_selectivity;
+      } else {
+        factor *= 0.5;  // unknown range: assume a half-selective range scan
+      }
+    }
+    if (c.eq.has_value()) factor *= default_eq_selectivity;
+    // Disequalities barely reduce cardinality; ignore them.
+    sel *= factor;
+  }
+  for (size_t i = 0; i < residual_.size(); ++i) sel *= residual_selectivity;
+  return sel;
+}
+
+std::string ConjunctiveClause::ToString() const {
+  if (IsTautology()) return "TRUE";
+  std::vector<std::string> parts;
+  for (const auto& [attr, c] : constraints_) {
+    parts.push_back(c.ToString(attr));
+  }
+  for (const auto& r : residual_) parts.push_back(r->ToString());
+  return StrJoin(parts, " AND ");
+}
+
+bool ConjunctiveClause::operator==(const ConjunctiveClause& other) const {
+  if (constraints_.size() != other.constraints_.size()) return false;
+  for (const auto& [attr, c] : constraints_) {
+    auto it = other.constraints_.find(attr);
+    if (it == other.constraints_.end()) return false;
+    const AttrConstraint& o = it->second;
+    if (!(c.interval == o.interval)) return false;
+    if (c.eq.has_value() != o.eq.has_value()) return false;
+    if (c.eq.has_value() && !(*c.eq == *o.eq)) return false;
+    if (c.neq != o.neq) return false;
+  }
+  if (residual_.size() != other.residual_.size()) return false;
+  for (size_t i = 0; i < residual_.size(); ++i) {
+    if (!residual_[i]->Equals(*other.residual_[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Attempts to register the atom `cmp` as a canonical constraint in `clause`;
+// falls back to the residual.
+void AbsorbComparison(const ComparisonExpr& cmp, const ExprPtr& original,
+                      ConjunctiveClause* clause) {
+  const Expr* lhs = cmp.lhs().get();
+  const Expr* rhs = cmp.rhs().get();
+  CompareOp op = cmp.op();
+  if (lhs->kind() == ExprKind::kLiteral &&
+      rhs->kind() == ExprKind::kColumnRef) {
+    std::swap(lhs, rhs);
+    op = FlipCompareOp(op);
+  }
+  if (lhs->kind() != ExprKind::kColumnRef ||
+      rhs->kind() != ExprKind::kLiteral) {
+    clause->AddResidual(original);
+    return;
+  }
+  const auto& col = static_cast<const ColumnRefExpr&>(*lhs);
+  const Value& lit = static_cast<const LiteralExpr&>(*rhs).value();
+  const std::string attr = col.FullName();
+
+  if (lit.is_numeric()) {
+    double v = lit.NumericValue();
+    switch (op) {
+      case CompareOp::kEq:
+        clause->ConstrainInterval(attr, Interval::Point(v));
+        return;
+      case CompareOp::kNe:
+        clause->ConstrainNotEquals(attr, lit);
+        return;
+      case CompareOp::kLt:
+        clause->ConstrainInterval(attr, Interval::AtMost(v, /*open=*/true));
+        return;
+      case CompareOp::kLe:
+        clause->ConstrainInterval(attr, Interval::AtMost(v));
+        return;
+      case CompareOp::kGt:
+        clause->ConstrainInterval(attr, Interval::AtLeast(v, /*open=*/true));
+        return;
+      case CompareOp::kGe:
+        clause->ConstrainInterval(attr, Interval::AtLeast(v));
+        return;
+    }
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      clause->ConstrainEquals(attr, lit);
+      return;
+    case CompareOp::kNe:
+      clause->ConstrainNotEquals(attr, lit);
+      return;
+    default:
+      // Ordered comparison on strings/bools: exact but rare; keep residual.
+      clause->AddResidual(original);
+      return;
+  }
+}
+
+Status AbsorbConjunct(const ExprPtr& expr, ConjunctiveClause* clause) {
+  switch (expr->kind()) {
+    case ExprKind::kComparison:
+      AbsorbComparison(static_cast<const ComparisonExpr&>(*expr), expr,
+                       clause);
+      return Status::OK();
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(*expr);
+      if (l.op() == LogicalOp::kAnd) {
+        for (const auto& child : l.children()) {
+          COSMOS_RETURN_IF_ERROR(AbsorbConjunct(child, clause));
+        }
+        return Status::OK();
+      }
+      // OR / NOT below a conjunction: keep whole subtree as residual.
+      clause->AddResidual(expr);
+      return Status::OK();
+    }
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(*expr);
+      if (lit.value().type() == ValueType::kBool) {
+        if (!lit.value().AsBool()) {
+          clause->AddResidual(expr);  // FALSE literal stays residual
+        }
+        return Status::OK();
+      }
+      return Status::InvalidArgument("non-boolean literal as conjunct");
+    }
+    case ExprKind::kColumnRef:
+    case ExprKind::kArithmetic:
+      return Status::InvalidArgument(
+          "non-boolean expression used as conjunct: " + expr->ToString());
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<ConjunctiveClause> ClauseFromExpr(const ExprPtr& expr) {
+  ConjunctiveClause clause;
+  if (expr == nullptr) return clause;
+  COSMOS_RETURN_IF_ERROR(AbsorbConjunct(expr, &clause));
+  return clause;
+}
+
+namespace {
+
+// DNF of an expression as a list of conjunctions of atoms (each atom an
+// ExprPtr); expansion is the classic distributive blow-up.
+Result<std::vector<std::vector<ExprPtr>>> DnfAtoms(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kComparison:
+    case ExprKind::kLiteral:
+      return std::vector<std::vector<ExprPtr>>{{expr}};
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(*expr);
+      if (l.op() == LogicalOp::kNot) {
+        const ExprPtr& child = l.children()[0];
+        if (child->kind() == ExprKind::kComparison) {
+          // Push negation into the comparison.
+          const auto& c = static_cast<const ComparisonExpr&>(*child);
+          CompareOp neg;
+          switch (c.op()) {
+            case CompareOp::kEq:
+              neg = CompareOp::kNe;
+              break;
+            case CompareOp::kNe:
+              neg = CompareOp::kEq;
+              break;
+            case CompareOp::kLt:
+              neg = CompareOp::kGe;
+              break;
+            case CompareOp::kLe:
+              neg = CompareOp::kGt;
+              break;
+            case CompareOp::kGt:
+              neg = CompareOp::kLe;
+              break;
+            case CompareOp::kGe:
+              neg = CompareOp::kLt;
+              break;
+            default:
+              return Status::Internal("bad op");
+          }
+          return std::vector<std::vector<ExprPtr>>{
+              {MakeCompare(neg, c.lhs(), c.rhs())}};
+        }
+        if (child->kind() == ExprKind::kLogical) {
+          // De Morgan: push NOT through AND/OR; NOT NOT cancels.
+          const auto& inner = static_cast<const LogicalExpr&>(*child);
+          if (inner.op() == LogicalOp::kNot) {
+            return DnfAtoms(inner.children()[0]);
+          }
+          std::vector<ExprPtr> negated;
+          for (const auto& grandchild : inner.children()) {
+            negated.push_back(MakeNot(grandchild));
+          }
+          ExprPtr pushed = inner.op() == LogicalOp::kAnd
+                               ? MakeOr(std::move(negated))
+                               : MakeAnd(std::move(negated));
+          return DnfAtoms(pushed);
+        }
+        if (child->kind() == ExprKind::kLiteral) {
+          const auto& lit = static_cast<const LiteralExpr&>(*child);
+          if (lit.value().type() == ValueType::kBool) {
+            return std::vector<std::vector<ExprPtr>>{
+                {MakeLiteral(Value(!lit.value().AsBool()))}};
+          }
+        }
+        return Status::Unimplemented(
+            "NOT over non-boolean expression in DNF conversion: " +
+            expr->ToString());
+      }
+      if (l.op() == LogicalOp::kOr) {
+        std::vector<std::vector<ExprPtr>> out;
+        for (const auto& child : l.children()) {
+          COSMOS_ASSIGN_OR_RETURN(auto sub, DnfAtoms(child));
+          out.insert(out.end(), sub.begin(), sub.end());
+        }
+        return out;
+      }
+      // AND: cross product of children's DNFs.
+      std::vector<std::vector<ExprPtr>> acc{{}};
+      for (const auto& child : l.children()) {
+        COSMOS_ASSIGN_OR_RETURN(auto sub, DnfAtoms(child));
+        std::vector<std::vector<ExprPtr>> next;
+        next.reserve(acc.size() * sub.size());
+        for (const auto& a : acc) {
+          for (const auto& s : sub) {
+            std::vector<ExprPtr> merged = a;
+            merged.insert(merged.end(), s.begin(), s.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case ExprKind::kColumnRef:
+    case ExprKind::kArithmetic:
+      return Status::InvalidArgument("non-boolean expression in DNF: " +
+                                     expr->ToString());
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<std::vector<ConjunctiveClause>> ToDnf(const ExprPtr& expr) {
+  if (expr == nullptr) {
+    return std::vector<ConjunctiveClause>{ConjunctiveClause{}};
+  }
+  COSMOS_ASSIGN_OR_RETURN(auto atom_lists, DnfAtoms(expr));
+  std::vector<ConjunctiveClause> out;
+  out.reserve(atom_lists.size());
+  for (const auto& atoms : atom_lists) {
+    ConjunctiveClause clause;
+    for (const auto& a : atoms) {
+      COSMOS_RETURN_IF_ERROR(AbsorbConjunct(a, &clause));
+    }
+    if (!clause.IsUnsatisfiable()) out.push_back(std::move(clause));
+  }
+  if (out.empty()) {
+    // Entire disjunction unsatisfiable; surface one empty-interval clause so
+    // callers can still build a (never-matching) filter.
+    ConjunctiveClause never;
+    never.ConstrainInterval("__false__", Interval::Empty());
+    out.push_back(std::move(never));
+  }
+  return out;
+}
+
+}  // namespace cosmos

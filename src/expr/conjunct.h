@@ -1,0 +1,118 @@
+#ifndef COSMOS_EXPR_CONJUNCT_H_
+#define COSMOS_EXPR_CONJUNCT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expression.h"
+#include "expr/interval.h"
+#include "stream/tuple.h"
+
+namespace cosmos {
+
+// Canonical constraint on one attribute inside a conjunctive filter:
+//  - numeric attributes: an Interval (equality becomes a point interval);
+//  - strings/bools: an optional required value (`eq`) and excluded values
+//    (`neq`).
+// Default-constructed = unconstrained.
+struct AttrConstraint {
+  Interval interval;               // numeric range; All() when unconstrained
+  std::optional<Value> eq;         // non-numeric equality
+  std::vector<Value> neq;          // non-numeric disequalities
+
+  bool IsUnconstrained() const {
+    return interval.IsAll() && !eq.has_value() && neq.empty();
+  }
+  bool IsUnsatisfiable() const;
+
+  // True iff `v` satisfies this constraint.
+  bool Matches(const Value& v) const;
+
+  std::string ToString(const std::string& attr) const;
+};
+
+// A conjunction of per-attribute constraints — the canonical form of a CBN
+// datagram filter (paper §3.1: "a filter is a conjunction of constraints on
+// the values of a set of attributes"). `residual` carries conjuncts that are
+// not of the shape <column> <cmp> <literal> (join predicates, arithmetic);
+// a clause destined for a CBN filter must have an empty residual.
+class ConjunctiveClause {
+ public:
+  ConjunctiveClause() = default;
+
+  const std::map<std::string, AttrConstraint>& constraints() const {
+    return constraints_;
+  }
+  const std::vector<ExprPtr>& residual() const { return residual_; }
+  bool has_residual() const { return !residual_.empty(); }
+
+  // Narrows the constraint on `attribute` by intersecting with `interval`
+  // (numeric) or recording the equality/disequality (non-numeric).
+  void ConstrainInterval(const std::string& attribute,
+                         const Interval& interval);
+  void ConstrainEquals(const std::string& attribute, Value v);
+  void ConstrainNotEquals(const std::string& attribute, Value v);
+  void AddResidual(ExprPtr expr);
+
+  // Looks up the constraint for `attribute`; unconstrained default when
+  // absent.
+  AttrConstraint ConstraintFor(const std::string& attribute) const;
+
+  // True when some attribute constraint is empty (clause matches nothing).
+  // Residual conjuncts are not analyzed.
+  bool IsUnsatisfiable() const;
+
+  // True when there are no constraints and no residual (matches everything).
+  bool IsTautology() const {
+    return constraints_.empty() && residual_.empty();
+  }
+
+  // Evaluates the canonical constraints (not the residual) against `tuple`
+  // by attribute name; attributes absent from the tuple fail the match.
+  bool MatchesCanonical(const Tuple& tuple) const;
+
+  // Rebuilds an expression equivalent to this clause (constraints AND
+  // residual). Returns nullptr for a tautology.
+  ExprPtr ToExpr() const;
+
+  // Product over constrained attributes of the fraction of each attribute's
+  // declared range the constraint admits (uniform-independence assumption).
+  // Attributes without declared ranges or non-numeric constraints
+  // contribute the `default_eq_selectivity` factor for equalities and 1.0
+  // otherwise. Residual conjuncts contribute `residual_selectivity` each.
+  double EstimateSelectivity(const Schema& schema,
+                             double default_eq_selectivity = 0.1,
+                             double residual_selectivity = 0.5) const;
+
+  std::string ToString() const;
+
+  bool operator==(const ConjunctiveClause& other) const;
+
+ private:
+  std::map<std::string, AttrConstraint> constraints_;
+  std::vector<ExprPtr> residual_;
+};
+
+// Decomposes a conjunction `expr` into the canonical clause. Atoms of shape
+// <column> <cmp> <literal> (either operand order) become constraints; every
+// other conjunct lands in the residual. A null expr yields a tautology.
+// Fails only on non-boolean structure (e.g. bare literals).
+Result<ConjunctiveClause> ClauseFromExpr(const ExprPtr& expr);
+
+// Renders one attribute constraint as a conjunction of comparisons against
+// `column` (a ColumnRef expression, possibly alias-qualified). Returns
+// nullptr for an unconstrained constraint; an unsatisfiable interval
+// renders as the FALSE comparison 1 = 0.
+ExprPtr ConstraintToExpr(const ExprPtr& column, const AttrConstraint& c);
+
+// Converts `expr` to disjunctive normal form as a vector of conjunctive
+// clauses (an empty vector = unsatisfiable FALSE is never produced; a
+// tautology yields one empty clause). NOT is only supported directly above
+// comparison atoms.
+Result<std::vector<ConjunctiveClause>> ToDnf(const ExprPtr& expr);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_EXPR_CONJUNCT_H_

@@ -1,0 +1,295 @@
+#include "expr/evaluator.h"
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+std::optional<size_t> ResolveColumn(const Schema& schema,
+                                    const ColumnRefExpr& col) {
+  if (!col.qualifier().empty()) {
+    // Composite schemas qualify names ("O.itemID").
+    if (auto idx = schema.IndexOf(col.FullName())) return idx;
+    // A reference qualified by the stream itself resolves to the bare name.
+    if (col.qualifier() == schema.stream_name()) {
+      if (auto idx = schema.IndexOf(col.name())) return idx;
+    }
+    return std::nullopt;
+  }
+  if (auto idx = schema.IndexOf(col.name())) return idx;
+  return std::nullopt;
+}
+
+namespace {
+
+Result<Value> CompareValues(CompareOp op, const Value& a, const Value& b) {
+  if (op == CompareOp::kEq || op == CompareOp::kNe) {
+    // Equality tolerates incomparable types by answering "not equal".
+    auto cmp = a.Compare(b);
+    bool eq = cmp.ok() && *cmp == 0;
+    return Value(op == CompareOp::kEq ? eq : !eq);
+  }
+  COSMOS_ASSIGN_OR_RETURN(int c, a.Compare(b));
+  switch (op) {
+    case CompareOp::kLt:
+      return Value(c < 0);
+    case CompareOp::kLe:
+      return Value(c <= 0);
+    case CompareOp::kGt:
+      return Value(c > 0);
+    case CompareOp::kGe:
+      return Value(c >= 0);
+    default:
+      return Status::Internal("unreachable compare op");
+  }
+}
+
+Result<Value> ApplyArith(ArithOp op, const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric values");
+  }
+  // Preserve int64 arithmetic when both sides are integers (timestamps!).
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    int64_t x = a.AsInt64();
+    int64_t y = b.AsInt64();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value(x + y);
+      case ArithOp::kSub:
+        return Value(x - y);
+      case ArithOp::kMul:
+        return Value(x * y);
+      case ArithOp::kDiv:
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        return Value(x / y);
+    }
+  }
+  double x = a.NumericValue();
+  double y = b.NumericValue();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value(x + y);
+    case ArithOp::kSub:
+      return Value(x - y);
+    case ArithOp::kMul:
+      return Value(x * y);
+    case ArithOp::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return Value(x / y);
+  }
+  return Status::Internal("unreachable arith op");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const ExprPtr& expr, const Tuple& tuple) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(*expr).value();
+    case ExprKind::kColumnRef: {
+      const auto& col = static_cast<const ColumnRefExpr&>(*expr);
+      auto idx = ResolveColumn(*tuple.schema(), col);
+      if (!idx.has_value()) {
+        return Status::NotFound(
+            StrFormat("column '%s' not found in schema '%s'",
+                      col.FullName().c_str(),
+                      tuple.schema()->stream_name().c_str()));
+      }
+      return tuple.value(*idx);
+    }
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(*expr);
+      COSMOS_ASSIGN_OR_RETURN(Value lhs, EvalExpr(c.lhs(), tuple));
+      COSMOS_ASSIGN_OR_RETURN(Value rhs, EvalExpr(c.rhs(), tuple));
+      return CompareValues(c.op(), lhs, rhs);
+    }
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(*expr);
+      if (l.op() == LogicalOp::kNot) {
+        COSMOS_ASSIGN_OR_RETURN(Value v, EvalExpr(l.children()[0], tuple));
+        if (v.type() != ValueType::kBool) {
+          return Status::InvalidArgument("NOT of non-boolean");
+        }
+        return Value(!v.AsBool());
+      }
+      bool is_and = l.op() == LogicalOp::kAnd;
+      for (const auto& child : l.children()) {
+        COSMOS_ASSIGN_OR_RETURN(Value v, EvalExpr(child, tuple));
+        if (v.type() != ValueType::kBool) {
+          return Status::InvalidArgument("logical op over non-boolean");
+        }
+        if (is_and && !v.AsBool()) return Value(false);
+        if (!is_and && v.AsBool()) return Value(true);
+      }
+      return Value(is_and);
+    }
+    case ExprKind::kArithmetic: {
+      const auto& a = static_cast<const ArithmeticExpr&>(*expr);
+      COSMOS_ASSIGN_OR_RETURN(Value lhs, EvalExpr(a.lhs(), tuple));
+      COSMOS_ASSIGN_OR_RETURN(Value rhs, EvalExpr(a.rhs(), tuple));
+      return ApplyArith(a.op(), lhs, rhs);
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+Result<bool> EvalPredicate(const ExprPtr& expr, const Tuple& tuple) {
+  if (expr == nullptr) return true;
+  COSMOS_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, tuple));
+  if (v.type() != ValueType::kBool) {
+    return Status::InvalidArgument("predicate did not evaluate to boolean");
+  }
+  return v.AsBool();
+}
+
+// ---- BoundPredicate ----
+
+struct BoundPredicate::Node {
+  ExprKind kind;
+  // kLiteral
+  Value literal;
+  // kColumnRef
+  size_t column_index = 0;
+  // kComparison / kArithmetic / kLogical
+  CompareOp cmp_op = CompareOp::kEq;
+  ArithOp arith_op = ArithOp::kAdd;
+  LogicalOp logical_op = LogicalOp::kAnd;
+  std::vector<std::shared_ptr<const Node>> children;
+};
+
+namespace {
+
+Result<std::shared_ptr<const BoundPredicate::Node>> BindNode(
+    const ExprPtr& expr, const Schema& schema);
+
+}  // namespace
+
+Result<BoundPredicate> BoundPredicate::Bind(const ExprPtr& expr,
+                                            const Schema& schema) {
+  BoundPredicate bp;
+  bp.expr_ = expr;
+  if (expr == nullptr) return bp;
+  COSMOS_ASSIGN_OR_RETURN(bp.root_, BindNode(expr, schema));
+  return bp;
+}
+
+namespace {
+
+Result<std::shared_ptr<const BoundPredicate::Node>> BindNode(
+    const ExprPtr& expr, const Schema& schema) {
+  auto node = std::make_shared<BoundPredicate::Node>();
+  node->kind = expr->kind();
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      node->literal = static_cast<const LiteralExpr&>(*expr).value();
+      break;
+    case ExprKind::kColumnRef: {
+      const auto& col = static_cast<const ColumnRefExpr&>(*expr);
+      auto idx = ResolveColumn(schema, col);
+      if (!idx.has_value()) {
+        return Status::NotFound(StrFormat(
+            "column '%s' not found in schema '%s'", col.FullName().c_str(),
+            schema.stream_name().c_str()));
+      }
+      node->column_index = *idx;
+      break;
+    }
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(*expr);
+      node->cmp_op = c.op();
+      COSMOS_ASSIGN_OR_RETURN(auto l, BindNode(c.lhs(), schema));
+      COSMOS_ASSIGN_OR_RETURN(auto r, BindNode(c.rhs(), schema));
+      node->children = {std::move(l), std::move(r)};
+      break;
+    }
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(*expr);
+      node->logical_op = l.op();
+      for (const auto& child : l.children()) {
+        COSMOS_ASSIGN_OR_RETURN(auto b, BindNode(child, schema));
+        node->children.push_back(std::move(b));
+      }
+      break;
+    }
+    case ExprKind::kArithmetic: {
+      const auto& a = static_cast<const ArithmeticExpr&>(*expr);
+      node->arith_op = a.op();
+      COSMOS_ASSIGN_OR_RETURN(auto l, BindNode(a.lhs(), schema));
+      COSMOS_ASSIGN_OR_RETURN(auto r, BindNode(a.rhs(), schema));
+      node->children = {std::move(l), std::move(r)};
+      break;
+    }
+  }
+  return std::shared_ptr<const BoundPredicate::Node>(std::move(node));
+}
+
+// Evaluates a bound node; a type error is reported through `ok`.
+Value EvalBound(const BoundPredicate::Node& node, const Tuple& tuple,
+                bool* ok) {
+  switch (node.kind) {
+    case ExprKind::kLiteral:
+      return node.literal;
+    case ExprKind::kColumnRef:
+      if (node.column_index >= tuple.num_values()) {
+        *ok = false;
+        return Value();
+      }
+      return tuple.value(node.column_index);
+    case ExprKind::kComparison: {
+      Value l = EvalBound(*node.children[0], tuple, ok);
+      Value r = EvalBound(*node.children[1], tuple, ok);
+      if (!*ok) return Value();
+      auto res = CompareValues(node.cmp_op, l, r);
+      if (!res.ok()) {
+        *ok = false;
+        return Value();
+      }
+      return *res;
+    }
+    case ExprKind::kLogical: {
+      if (node.logical_op == LogicalOp::kNot) {
+        Value v = EvalBound(*node.children[0], tuple, ok);
+        if (!*ok || v.type() != ValueType::kBool) {
+          *ok = false;
+          return Value();
+        }
+        return Value(!v.AsBool());
+      }
+      bool is_and = node.logical_op == LogicalOp::kAnd;
+      for (const auto& child : node.children) {
+        Value v = EvalBound(*child, tuple, ok);
+        if (!*ok || v.type() != ValueType::kBool) {
+          *ok = false;
+          return Value();
+        }
+        if (is_and && !v.AsBool()) return Value(false);
+        if (!is_and && v.AsBool()) return Value(true);
+      }
+      return Value(is_and);
+    }
+    case ExprKind::kArithmetic: {
+      Value l = EvalBound(*node.children[0], tuple, ok);
+      Value r = EvalBound(*node.children[1], tuple, ok);
+      if (!*ok) return Value();
+      auto res = ApplyArith(node.arith_op, l, r);
+      if (!res.ok()) {
+        *ok = false;
+        return Value();
+      }
+      return *res;
+    }
+  }
+  *ok = false;
+  return Value();
+}
+
+}  // namespace
+
+bool BoundPredicate::Matches(const Tuple& tuple) const {
+  if (root_ == nullptr) return true;
+  bool ok = true;
+  Value v = EvalBound(*root_, tuple, &ok);
+  if (!ok || v.type() != ValueType::kBool) return false;
+  return v.AsBool();
+}
+
+}  // namespace cosmos

@@ -1,0 +1,55 @@
+#ifndef COSMOS_EXPR_EVALUATOR_H_
+#define COSMOS_EXPR_EVALUATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "expr/expression.h"
+#include "stream/tuple.h"
+
+namespace cosmos {
+
+// Resolves a column reference against `schema`: tries the fully qualified
+// name first ("O.itemID"), then the bare name ("itemID"), then — when the
+// qualifier matches the schema's stream name — the bare name again. Returns
+// the attribute index or nullopt.
+std::optional<size_t> ResolveColumn(const Schema& schema,
+                                    const ColumnRefExpr& col);
+
+// Interprets `expr` against `tuple` (tree walk, name resolution per call).
+// Comparisons yield bool Values; arithmetic yields numeric Values. Errors:
+// unresolved columns, type mismatches, division by zero.
+Result<Value> EvalExpr(const ExprPtr& expr, const Tuple& tuple);
+
+// Evaluates a predicate expression to a boolean. A null expr means "true".
+Result<bool> EvalPredicate(const ExprPtr& expr, const Tuple& tuple);
+
+// A predicate bound to a fixed schema: column references are resolved to
+// attribute indexes once, so per-tuple evaluation does no string lookups.
+// This is the CBN's and the SPE's hot path.
+class BoundPredicate {
+ public:
+  // Binds `expr` against `schema`; fails if any column cannot be resolved.
+  // A null expr binds to the always-true predicate.
+  static Result<BoundPredicate> Bind(const ExprPtr& expr,
+                                     const Schema& schema);
+
+  // Evaluates against a tuple of the bound schema. Type errors surface as
+  // false (the tuple does not match) — the CBN drops non-conforming
+  // datagrams rather than failing the router.
+  bool Matches(const Tuple& tuple) const;
+
+  const ExprPtr& expr() const { return expr_; }
+
+  struct Node;  // bound tree; public so the binder in the .cc can build it
+
+ private:
+  BoundPredicate() = default;
+
+  ExprPtr expr_;
+  std::shared_ptr<const Node> root_;  // null => always true
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_EXPR_EVALUATOR_H_

@@ -1,0 +1,126 @@
+#include "expr/implication.h"
+
+#include <algorithm>
+
+namespace cosmos {
+namespace {
+
+// Does constraint `a` on one attribute imply constraint `b`?
+bool ConstraintImplies(const AttrConstraint& a, const AttrConstraint& b) {
+  if (a.IsUnsatisfiable()) return true;  // FALSE implies anything
+  // Interval containment.
+  if (!b.interval.Covers(a.interval)) {
+    // A point equality in `a.eq` could still satisfy a numeric bound in b,
+    // but eq holds non-numerics only, so no rescue here.
+    return false;
+  }
+  if (b.eq.has_value()) {
+    if (!a.eq.has_value() || !(*a.eq == *b.eq)) return false;
+  }
+  for (const auto& forbidden : b.neq) {
+    // a must guarantee the value differs from `forbidden`.
+    bool guaranteed = false;
+    if (a.eq.has_value() && !(*a.eq == forbidden)) guaranteed = true;
+    for (const auto& v : a.neq) {
+      if (v == forbidden) guaranteed = true;
+    }
+    if (!guaranteed) return false;
+  }
+  return true;
+}
+
+// Structural multiset equality of residual conjunct lists.
+bool ResidualsEqual(const std::vector<ExprPtr>& a,
+                    const std::vector<ExprPtr>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const auto& x : a) {
+    bool found = false;
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (!used[j] && x->Equals(*b[j])) {
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Every residual of `b` appears (structurally) among the residuals of `a`,
+// i.e. `a` enforces at least the opaque conjuncts `b` enforces.
+bool ResidualsSubsume(const std::vector<ExprPtr>& a,
+                      const std::vector<ExprPtr>& b) {
+  for (const auto& y : b) {
+    bool found = false;
+    for (const auto& x : a) {
+      if (x->Equals(*y)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ClauseImplies(const ConjunctiveClause& a, const ConjunctiveClause& b) {
+  if (a.IsUnsatisfiable()) return true;
+  // Opaque conjuncts in b must be enforced verbatim by a.
+  if (!ResidualsSubsume(a.residual(), b.residual())) return false;
+  for (const auto& [attr, bc] : b.constraints()) {
+    AttrConstraint ac = a.ConstraintFor(attr);
+    if (!ConstraintImplies(ac, bc)) return false;
+  }
+  return true;
+}
+
+bool ClauseEquivalent(const ConjunctiveClause& a,
+                      const ConjunctiveClause& b) {
+  return ClauseImplies(a, b) && ClauseImplies(b, a) &&
+         ResidualsEqual(a.residual(), b.residual());
+}
+
+bool ClauseDisjoint(const ConjunctiveClause& a, const ConjunctiveClause& b) {
+  if (a.IsUnsatisfiable() || b.IsUnsatisfiable()) return true;
+  for (const auto& [attr, ac] : a.constraints()) {
+    auto it = b.constraints().find(attr);
+    if (it == b.constraints().end()) continue;
+    const AttrConstraint& bc = it->second;
+    if (ac.interval.Intersect(bc.interval).IsEmpty()) return true;
+    if (ac.eq.has_value() && bc.eq.has_value() && !(*ac.eq == *bc.eq)) {
+      return true;
+    }
+    if (ac.eq.has_value() &&
+        std::any_of(bc.neq.begin(), bc.neq.end(),
+                    [&](const Value& v) { return v == *ac.eq; })) {
+      return true;
+    }
+    if (bc.eq.has_value() &&
+        std::any_of(ac.neq.begin(), ac.neq.end(),
+                    [&](const Value& v) { return v == *bc.eq; })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DnfImplies(const std::vector<ConjunctiveClause>& a,
+                const std::vector<ConjunctiveClause>& b) {
+  for (const auto& ca : a) {
+    bool covered = false;
+    for (const auto& cb : b) {
+      if (ClauseImplies(ca, cb)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,32 @@
+#ifndef COSMOS_EXPR_IMPLICATION_H_
+#define COSMOS_EXPR_IMPLICATION_H_
+
+#include "expr/conjunct.h"
+
+namespace cosmos {
+
+// Sound (conservative) implication tests between canonical conjunctive
+// clauses. These drive both CBN covering checks and the containment test of
+// the query-merging theory (paper §4, Q∞ containment): a "true" answer is a
+// guarantee; "false" means "could not prove".
+
+// True iff every tuple satisfying `a` also satisfies `b`.
+// Conservative: returns false when either clause has residual conjuncts it
+// cannot reason about — unless the residuals are structurally equal.
+bool ClauseImplies(const ConjunctiveClause& a, const ConjunctiveClause& b);
+
+// True iff the two clauses provably accept exactly the same tuples.
+bool ClauseEquivalent(const ConjunctiveClause& a, const ConjunctiveClause& b);
+
+// True iff the clauses can provably never both match one tuple (some
+// attribute's constraints are disjoint).
+bool ClauseDisjoint(const ConjunctiveClause& a, const ConjunctiveClause& b);
+
+// Implication over DNF predicate sets: every clause of `a` must imply some
+// clause of `b`. Sound but not complete.
+bool DnfImplies(const std::vector<ConjunctiveClause>& a,
+                const std::vector<ConjunctiveClause>& b);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_EXPR_IMPLICATION_H_

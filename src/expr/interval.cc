@@ -1,0 +1,153 @@
+#include "expr/interval.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+Interval::Interval() : lo_(-kInf), hi_(kInf), lo_open_(true), hi_open_(true) {}
+
+Interval::Interval(double lo, bool lo_open, double hi, bool hi_open)
+    : lo_(lo), hi_(hi), lo_open_(lo_open), hi_open_(hi_open) {
+  // Infinite endpoints are always open.
+  if (lo_ == -kInf) lo_open_ = true;
+  if (hi_ == kInf) hi_open_ = true;
+  if (IsEmpty()) *this = Empty();
+}
+
+Interval Interval::Empty() {
+  Interval e;
+  e.lo_ = 1.0;
+  e.hi_ = 0.0;
+  e.lo_open_ = true;
+  e.hi_open_ = true;
+  return e;
+}
+
+bool Interval::IsEmpty() const {
+  if (lo_ > hi_) return true;
+  if (lo_ == hi_ && (lo_open_ || hi_open_)) return true;
+  return false;
+}
+
+bool Interval::IsPoint() const {
+  return lo_ == hi_ && !lo_open_ && !hi_open_;
+}
+
+bool Interval::Contains(double v) const {
+  if (IsEmpty()) return false;
+  if (v < lo_ || (v == lo_ && lo_open_)) return false;
+  if (v > hi_ || (v == hi_ && hi_open_)) return false;
+  return true;
+}
+
+bool Interval::Covers(const Interval& other) const {
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  bool lo_ok = lo_ < other.lo_ ||
+               (lo_ == other.lo_ && (!lo_open_ || other.lo_open_));
+  bool hi_ok = hi_ > other.hi_ ||
+               (hi_ == other.hi_ && (!hi_open_ || other.hi_open_));
+  return lo_ok && hi_ok;
+}
+
+Interval Interval::Intersect(const Interval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return Empty();
+  double lo = lo_;
+  bool lo_open = lo_open_;
+  if (other.lo_ > lo || (other.lo_ == lo && other.lo_open_)) {
+    lo = other.lo_;
+    lo_open = other.lo_open_ || (lo == lo_ && lo_open_);
+  }
+  double hi = hi_;
+  bool hi_open = hi_open_;
+  if (other.hi_ < hi || (other.hi_ == hi && other.hi_open_)) {
+    hi = other.hi_;
+    hi_open = other.hi_open_ || (hi == hi_ && hi_open_);
+  }
+  Interval out(lo, lo_open, hi, hi_open);
+  if (out.IsEmpty()) return Empty();
+  return out;
+}
+
+Interval Interval::Hull(const Interval& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  double lo;
+  bool lo_open;
+  if (lo_ < other.lo_) {
+    lo = lo_;
+    lo_open = lo_open_;
+  } else if (other.lo_ < lo_) {
+    lo = other.lo_;
+    lo_open = other.lo_open_;
+  } else {
+    lo = lo_;
+    lo_open = lo_open_ && other.lo_open_;
+  }
+  double hi;
+  bool hi_open;
+  if (hi_ > other.hi_) {
+    hi = hi_;
+    hi_open = hi_open_;
+  } else if (other.hi_ > hi_) {
+    hi = other.hi_;
+    hi_open = other.hi_open_;
+  } else {
+    hi = hi_;
+    hi_open = hi_open_ && other.hi_open_;
+  }
+  return Interval(lo, lo_open, hi, hi_open);
+}
+
+bool Interval::UnionIsExact(const Interval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return true;
+  // The hull equals the union iff the intervals overlap or touch at a point
+  // that belongs to at least one side.
+  const Interval* a = this;
+  const Interval* b = &other;
+  if (b->lo_ < a->lo_ || (b->lo_ == a->lo_ && !b->lo_open_ && a->lo_open_)) {
+    std::swap(a, b);
+  }
+  // Now a starts no later than b.
+  if (a->hi_ > b->lo_) return true;
+  if (a->hi_ < b->lo_) return false;
+  // Touch at a single point: exact iff the point is included on either side.
+  return !a->hi_open_ || !b->lo_open_;
+}
+
+double Interval::SelectivityWithin(double range_lo, double range_hi) const {
+  if (IsEmpty()) return 0.0;
+  if (range_hi <= range_lo) {
+    // Degenerate attribute range: treat as a point domain.
+    return Contains(range_lo) ? 1.0 : 0.0;
+  }
+  double lo = std::max(lo_, range_lo);
+  double hi = std::min(hi_, range_hi);
+  if (hi <= lo) {
+    // Point intervals within the range still select a sliver; approximate
+    // equality selectivity as 1/1000 of the domain.
+    if (IsPoint() && lo_ >= range_lo && lo_ <= range_hi) return 0.001;
+    return 0.0;
+  }
+  return (hi - lo) / (range_hi - range_lo);
+}
+
+std::string Interval::ToString() const {
+  if (IsEmpty()) return "{}";
+  std::string out = lo_open_ ? "(" : "[";
+  out += lo_unbounded() ? "-inf" : StrFormat("%g", lo_);
+  out += ", ";
+  out += hi_unbounded() ? "+inf" : StrFormat("%g", hi_);
+  out += hi_open_ ? ")" : "]";
+  return out;
+}
+
+bool Interval::operator==(const Interval& other) const {
+  if (IsEmpty() && other.IsEmpty()) return true;
+  return lo_ == other.lo_ && hi_ == other.hi_ && lo_open_ == other.lo_open_ &&
+         hi_open_ == other.hi_open_;
+}
+
+}  // namespace cosmos

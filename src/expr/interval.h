@@ -1,0 +1,78 @@
+#ifndef COSMOS_EXPR_INTERVAL_H_
+#define COSMOS_EXPR_INTERVAL_H_
+
+#include <limits>
+#include <string>
+
+namespace cosmos {
+
+// A (possibly unbounded, possibly half-open) interval over doubles. The
+// canonical constraint form for numeric attributes: every conjunction of
+// comparisons against one attribute collapses to one Interval.
+//
+// The empty interval is represented canonically (lo > hi); use IsEmpty().
+class Interval {
+ public:
+  // Unconstrained interval (-inf, +inf).
+  Interval();
+  Interval(double lo, bool lo_open, double hi, bool hi_open);
+
+  static Interval All() { return Interval(); }
+  static Interval Empty();
+  static Interval Point(double v) { return Interval(v, false, v, false); }
+  static Interval AtLeast(double v, bool open = false) {
+    return Interval(v, open, kInf, true);
+  }
+  static Interval AtMost(double v, bool open = false) {
+    return Interval(-kInf, true, v, open);
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool lo_open() const { return lo_open_; }
+  bool hi_open() const { return hi_open_; }
+  bool lo_unbounded() const { return lo_ == -kInf; }
+  bool hi_unbounded() const { return hi_ == kInf; }
+
+  bool IsEmpty() const;
+  bool IsAll() const { return lo_unbounded() && hi_unbounded(); }
+  bool IsPoint() const;
+
+  bool Contains(double v) const;
+
+  // True iff every point of `other` lies in *this.
+  bool Covers(const Interval& other) const;
+
+  // Set intersection (exact).
+  Interval Intersect(const Interval& other) const;
+
+  // Convex hull of the union (the tightest single interval containing
+  // both); this is the relaxation used when merging query predicates and is
+  // a superset of the true union.
+  Interval Hull(const Interval& other) const;
+
+  // True iff the union of the two intervals is exactly their hull (they
+  // overlap or touch), i.e. hull introduces no spurious points.
+  bool UnionIsExact(const Interval& other) const;
+
+  // Fraction of [range_lo, range_hi] covered by this interval, clamped to
+  // [0,1]; the uniform-distribution selectivity of the constraint.
+  double SelectivityWithin(double range_lo, double range_hi) const;
+
+  // e.g. "[3, 10)", "(-inf, 5]", "{}", "(-inf, +inf)"
+  std::string ToString() const;
+
+  bool operator==(const Interval& other) const;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ private:
+  double lo_;
+  double hi_;
+  bool lo_open_;
+  bool hi_open_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_EXPR_INTERVAL_H_

@@ -1,0 +1,102 @@
+#include "expr/relaxation.h"
+
+#include "expr/implication.h"
+
+namespace cosmos {
+
+ConjunctiveClause ClauseHull(const ConjunctiveClause& a,
+                             const ConjunctiveClause& b) {
+  if (a.IsUnsatisfiable()) return b;
+  if (b.IsUnsatisfiable()) return a;
+  ConjunctiveClause out;
+  for (const auto& [attr, ac] : a.constraints()) {
+    auto it = b.constraints().find(attr);
+    if (it == b.constraints().end()) continue;  // relax: drop
+    const AttrConstraint& bc = it->second;
+
+    // Interval hull.
+    Interval hull = ac.interval.Hull(bc.interval);
+    if (!hull.IsAll()) out.ConstrainInterval(attr, hull);
+
+    // Keep an equality only when both demand the same value.
+    if (ac.eq.has_value() && bc.eq.has_value() && *ac.eq == *bc.eq) {
+      out.ConstrainEquals(attr, *ac.eq);
+    }
+    // Keep the common disequalities.
+    for (const auto& v : ac.neq) {
+      for (const auto& w : bc.neq) {
+        if (v == w) out.ConstrainNotEquals(attr, v);
+      }
+    }
+  }
+  // Residuals survive only when enforced by both sides.
+  for (const auto& ra : a.residual()) {
+    for (const auto& rb : b.residual()) {
+      if (ra->Equals(*rb)) {
+        out.AddResidual(ra);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool ClauseHullIsExact(const ConjunctiveClause& a,
+                       const ConjunctiveClause& b) {
+  ConjunctiveClause hull = ClauseHull(a, b);
+  // Exact iff hull implies (a OR b). With canonical boxes that holds exactly
+  // when the clauses differ on at most one attribute and on that attribute
+  // the interval union is exact, with equal auxiliary constraints.
+  if (ClauseImplies(hull, a) || ClauseImplies(hull, b)) return true;
+
+  // Count attributes whose constraints differ.
+  int differing = 0;
+  const ConjunctiveClause* wide = &a;
+  (void)wide;
+  std::vector<std::string> attrs;
+  for (const auto& [attr, c] : hull.constraints()) attrs.push_back(attr);
+  // Also consider attributes present in a or b but dropped by the hull: the
+  // hull is wider there, so the union is inexact unless the other clause
+  // already covered everything — handled by the implication check above.
+  for (const auto& [attr, c] : a.constraints()) {
+    if (hull.constraints().find(attr) == hull.constraints().end()) {
+      return false;
+    }
+  }
+  for (const auto& [attr, c] : b.constraints()) {
+    if (hull.constraints().find(attr) == hull.constraints().end()) {
+      return false;
+    }
+  }
+  std::string diff_attr;
+  for (const auto& attr : attrs) {
+    AttrConstraint ac = a.ConstraintFor(attr);
+    AttrConstraint bc = b.ConstraintFor(attr);
+    bool same = ac.interval == bc.interval &&
+                ac.eq.has_value() == bc.eq.has_value() &&
+                (!ac.eq.has_value() || *ac.eq == *bc.eq) && ac.neq == bc.neq;
+    if (!same) {
+      ++differing;
+      diff_attr = attr;
+    }
+  }
+  if (differing == 0) return true;
+  if (differing > 1) return false;
+  AttrConstraint ac = a.ConstraintFor(diff_attr);
+  AttrConstraint bc = b.ConstraintFor(diff_attr);
+  if (ac.eq.has_value() || bc.eq.has_value() || !ac.neq.empty() ||
+      !bc.neq.empty()) {
+    return false;
+  }
+  return ac.interval.UnionIsExact(bc.interval);
+}
+
+ConjunctiveClause ClauseHullMany(const std::vector<ConjunctiveClause>& cs) {
+  ConjunctiveClause out;
+  if (cs.empty()) return out;
+  out = cs[0];
+  for (size_t i = 1; i < cs.size(); ++i) out = ClauseHull(out, cs[i]);
+  return out;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,37 @@
+#ifndef COSMOS_EXPR_RELAXATION_H_
+#define COSMOS_EXPR_RELAXATION_H_
+
+#include "expr/conjunct.h"
+
+namespace cosmos {
+
+// Predicate relaxation for representative-query composition (paper §4):
+// given member predicates, produce a predicate that is implied by each of
+// them (accepts a superset of their union) while staying as tight as the
+// canonical form allows. The loosened constraints are later re-tightened in
+// the per-user CBN profiles, so relaxation only costs bandwidth, never
+// correctness.
+
+// The per-attribute hull of two clauses:
+//  - attributes constrained in both: interval hull; equal equalities kept,
+//    differing ones dropped; neq intersection kept;
+//  - attributes constrained in only one clause: dropped (relaxed to
+//    unconstrained);
+//  - residuals: kept only when present (structurally) in both clauses.
+// Guarantee (property-tested): ClauseImplies(a, hull) and
+// ClauseImplies(b, hull).
+ConjunctiveClause ClauseHull(const ConjunctiveClause& a,
+                             const ConjunctiveClause& b);
+
+// True when the hull provably accepts exactly union(a, b) — used to report
+// how much slack the merge introduced (slack is re-filtered at the user's
+// profile, costing transfer of non-result tuples).
+bool ClauseHullIsExact(const ConjunctiveClause& a,
+                       const ConjunctiveClause& b);
+
+// Hull of many clauses (fold of ClauseHull; empty input yields a tautology).
+ConjunctiveClause ClauseHullMany(const std::vector<ConjunctiveClause>& cs);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_EXPR_RELAXATION_H_

@@ -1,0 +1,128 @@
+#include "overlay/dissemination_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+Result<DisseminationTree> DisseminationTree::FromEdges(
+    int num_nodes, const std::vector<Edge>& edges) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("tree needs at least one node");
+  }
+  if (static_cast<int>(edges.size()) != num_nodes - 1) {
+    return Status::InvalidArgument(
+        StrFormat("spanning tree over %d nodes needs %d edges, got %zu",
+                  num_nodes, num_nodes - 1, edges.size()));
+  }
+  DisseminationTree t;
+  t.adjacency_.resize(num_nodes);
+  for (const auto& e : edges) {
+    if (e.u < 0 || e.v < 0 || e.u >= num_nodes || e.v >= num_nodes ||
+        e.u == e.v) {
+      return Status::InvalidArgument("bad tree edge");
+    }
+    if (t.HasEdge(e.u, e.v)) {
+      return Status::InvalidArgument("duplicate tree edge");
+    }
+    t.adjacency_[e.u].emplace_back(e.v, e.weight);
+    t.adjacency_[e.v].emplace_back(e.u, e.weight);
+    t.edges_.push_back(e);
+  }
+  // Connectivity check (n-1 edges + connected => tree).
+  std::vector<bool> seen(num_nodes, false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  int visited = 1;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const auto& [v, w] : t.adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        q.push(v);
+      }
+    }
+  }
+  if (visited != num_nodes) {
+    return Status::InvalidArgument("edges do not form a connected tree");
+  }
+  return t;
+}
+
+bool DisseminationTree::HasEdge(NodeId u, NodeId v) const {
+  if (u < 0 || u >= num_nodes()) return false;
+  for (const auto& [n, w] : adjacency_[u]) {
+    if (n == v) return true;
+  }
+  return false;
+}
+
+Result<double> DisseminationTree::EdgeWeight(NodeId u, NodeId v) const {
+  if (u >= 0 && u < num_nodes()) {
+    for (const auto& [n, w] : adjacency_[u]) {
+      if (n == v) return w;
+    }
+  }
+  return Status::NotFound(StrFormat("tree edge (%d,%d)", u, v));
+}
+
+std::vector<NodeId> DisseminationTree::Path(NodeId from, NodeId to) const {
+  std::vector<NodeId> path;
+  if (from < 0 || to < 0 || from >= num_nodes() || to >= num_nodes()) {
+    return path;
+  }
+  // BFS from `from`; reconstruct via parents. Trees are small enough and
+  // this is not on the datagram hot path (routing uses tables).
+  std::vector<NodeId> parent(num_nodes(), -2);
+  std::queue<NodeId> q;
+  q.push(from);
+  parent[from] = -1;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    if (u == to) break;
+    for (const auto& [v, w] : adjacency_[u]) {
+      if (parent[v] == -2) {
+        parent[v] = u;
+        q.push(v);
+      }
+    }
+  }
+  if (parent[to] == -2) return path;
+  for (NodeId v = to; v != -1; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int DisseminationTree::HopDistance(NodeId from, NodeId to) const {
+  auto p = Path(from, to);
+  return p.empty() ? -1 : static_cast<int>(p.size()) - 1;
+}
+
+double DisseminationTree::WeightedDistance(NodeId from, NodeId to) const {
+  auto p = Path(from, to);
+  double total = 0.0;
+  for (size_t i = 1; i < p.size(); ++i) {
+    total += EdgeWeight(p[i - 1], p[i]).value_or(0.0);
+  }
+  return total;
+}
+
+NodeId DisseminationTree::NextHop(NodeId from, NodeId to) const {
+  auto p = Path(from, to);
+  if (p.size() < 2) return from;
+  return p[1];
+}
+
+double DisseminationTree::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& e : edges_) total += e.weight;
+  return total;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,62 @@
+#ifndef COSMOS_OVERLAY_DISSEMINATION_TREE_H_
+#define COSMOS_OVERLAY_DISSEMINATION_TREE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "overlay/graph.h"
+
+namespace cosmos {
+
+// An (unrooted) overlay dissemination tree over nodes 0..n-1: exactly n-1
+// edges, connected, acyclic. The CBN routes datagrams hop-by-hop along tree
+// edges using per-link subscription tables, so the tree only needs neighbor
+// sets and path queries.
+class DisseminationTree {
+ public:
+  DisseminationTree() = default;
+
+  // Validates and adopts `edges` as a spanning tree over `num_nodes` nodes.
+  static Result<DisseminationTree> FromEdges(int num_nodes,
+                                             const std::vector<Edge>& edges);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  const std::vector<std::pair<NodeId, double>>& Neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+  int Degree(NodeId u) const {
+    return static_cast<int>(adjacency_[u].size());
+  }
+
+  bool HasEdge(NodeId u, NodeId v) const;
+  Result<double> EdgeWeight(NodeId u, NodeId v) const;
+
+  // The unique tree path from `from` to `to` (inclusive of both ends).
+  std::vector<NodeId> Path(NodeId from, NodeId to) const;
+
+  // Number of tree edges between the two nodes.
+  int HopDistance(NodeId from, NodeId to) const;
+
+  // Sum of edge weights on the path.
+  double WeightedDistance(NodeId from, NodeId to) const;
+
+  // The neighbor of `from` on the path toward `to` (== `to` if adjacent).
+  NodeId NextHop(NodeId from, NodeId to) const;
+
+  double TotalWeight() const;
+
+  // Canonical (min,max) ordering of an edge for use as a map key.
+  static std::pair<NodeId, NodeId> EdgeKey(NodeId u, NodeId v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  }
+
+ private:
+  std::vector<std::vector<std::pair<NodeId, double>>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_OVERLAY_DISSEMINATION_TREE_H_

@@ -1,0 +1,92 @@
+#include "overlay/graph.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+Graph::Graph(int num_nodes) : adjacency_(static_cast<size_t>(num_nodes)) {}
+
+Status Graph::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes()) {
+    return Status::InvalidArgument(StrFormat("bad node id (%d,%d)", u, v));
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loop");
+  }
+  if (HasEdge(u, v)) {
+    return Status::AlreadyExists(StrFormat("edge (%d,%d) exists", u, v));
+  }
+  if (weight < 0) {
+    return Status::InvalidArgument("negative edge weight");
+  }
+  adjacency_[u].emplace_back(v, weight);
+  adjacency_[v].emplace_back(u, weight);
+  edges_.push_back(Edge{u, v, weight});
+  return Status::OK();
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u < 0 || u >= num_nodes()) return false;
+  for (const auto& [n, w] : adjacency_[u]) {
+    if (n == v) return true;
+  }
+  return false;
+}
+
+Result<double> Graph::EdgeWeight(NodeId u, NodeId v) const {
+  if (u >= 0 && u < num_nodes()) {
+    for (const auto& [n, w] : adjacency_[u]) {
+      if (n == v) return w;
+    }
+  }
+  return Status::NotFound(StrFormat("edge (%d,%d)", u, v));
+}
+
+bool Graph::IsConnected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<bool> seen(num_nodes(), false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  int visited = 1;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const auto& [v, w] : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        q.push(v);
+      }
+    }
+  }
+  return visited == num_nodes();
+}
+
+std::vector<double> Graph::ShortestDistances(NodeId source) const {
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(num_nodes(), kInf);
+  if (source < 0 || source >= num_nodes()) return dist;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : adjacency_[u]) {
+      double nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace cosmos

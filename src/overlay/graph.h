@@ -1,0 +1,59 @@
+#ifndef COSMOS_OVERLAY_GRAPH_H_
+#define COSMOS_OVERLAY_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cosmos {
+
+using NodeId = int;
+
+// An undirected edge with a weight (modeled as the overlay link delay in
+// milliseconds; any non-negative cost works).
+struct Edge {
+  NodeId u = -1;
+  NodeId v = -1;
+  double weight = 1.0;
+};
+
+// A simple undirected weighted graph over nodes 0..n-1 (the physical
+// overlay). Parallel edges are rejected; self-loops are rejected.
+class Graph {
+ public:
+  explicit Graph(int num_nodes = 0);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Adds an undirected edge; fails on self-loop, duplicate or bad node id.
+  Status AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  bool HasEdge(NodeId u, NodeId v) const;
+  // Weight of edge (u,v); error when absent.
+  Result<double> EdgeWeight(NodeId u, NodeId v) const;
+
+  // Neighbor list of `u` as (neighbor, weight) pairs.
+  const std::vector<std::pair<NodeId, double>>& Neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+  int Degree(NodeId u) const {
+    return static_cast<int>(adjacency_[u].size());
+  }
+
+  bool IsConnected() const;
+
+  // Single-source shortest path distances (Dijkstra); unreachable nodes get
+  // infinity.
+  std::vector<double> ShortestDistances(NodeId source) const;
+
+ private:
+  std::vector<std::vector<std::pair<NodeId, double>>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_OVERLAY_GRAPH_H_

@@ -1,0 +1,137 @@
+#include "overlay/optimizer.h"
+
+#include <queue>
+
+#include "common/logging.h"
+
+namespace cosmos {
+
+OverlayOptimizer::OverlayOptimizer(const Graph& overlay,
+                                   OptimizerOptions options)
+    : overlay_(overlay), options_(std::move(options)) {
+  if (!options_.edge_cost) {
+    options_.edge_cost = [](const Edge& e, double traffic_bps) {
+      return e.weight * (1.0 + traffic_bps);
+    };
+  }
+}
+
+std::map<std::pair<NodeId, NodeId>, double> OverlayOptimizer::EdgeTraffic(
+    const DisseminationTree& tree, const std::vector<Flow>& flows) const {
+  std::map<std::pair<NodeId, NodeId>, double> traffic;
+  for (const auto& e : tree.edges()) {
+    traffic[DisseminationTree::EdgeKey(e.u, e.v)] = 0.0;
+  }
+  for (const auto& f : flows) {
+    auto path = tree.Path(f.source, f.sink);
+    for (size_t i = 1; i < path.size(); ++i) {
+      traffic[DisseminationTree::EdgeKey(path[i - 1], path[i])] += f.rate_bps;
+    }
+  }
+  return traffic;
+}
+
+double OverlayOptimizer::TreeCost(const DisseminationTree& tree,
+                                  const std::vector<Flow>& flows) const {
+  auto traffic = EdgeTraffic(tree, flows);
+  double total = 0.0;
+  for (const auto& e : tree.edges()) {
+    total += options_.edge_cost(
+        e, traffic[DisseminationTree::EdgeKey(e.u, e.v)]);
+  }
+  return total;
+}
+
+namespace {
+
+// Marks the component of `start` in `tree` with edge (cu,cv) removed.
+std::vector<bool> ComponentWithout(const DisseminationTree& tree,
+                                   NodeId start, NodeId cu, NodeId cv) {
+  std::vector<bool> in(tree.num_nodes(), false);
+  std::queue<NodeId> q;
+  q.push(start);
+  in[start] = true;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const auto& [v, w] : tree.Neighbors(u)) {
+      if ((u == cu && v == cv) || (u == cv && v == cu)) continue;
+      if (!in[v]) {
+        in[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+Result<DisseminationTree> OverlayOptimizer::Optimize(
+    const DisseminationTree& tree, const std::vector<Flow>& flows,
+    Stats* stats) const {
+  DisseminationTree current = tree;
+  double current_cost = TreeCost(current, flows);
+  Stats local;
+  local.initial_cost = current_cost;
+
+  for (int round = 0; round < options_.max_swaps; ++round) {
+    double best_cost = current_cost;
+    std::vector<Edge> best_edges;
+
+    // Try replacing each tree edge with each overlay edge across its cut.
+    for (const auto& removed : current.edges()) {
+      std::vector<bool> side =
+          ComponentWithout(current, removed.u, removed.u, removed.v);
+      for (const auto& candidate : overlay_.edges()) {
+        if (side[candidate.u] == side[candidate.v]) continue;  // same side
+        if (candidate.u == removed.u && candidate.v == removed.v) continue;
+        if (candidate.u == removed.v && candidate.v == removed.u) continue;
+        if (current.HasEdge(candidate.u, candidate.v)) continue;
+        // Degree constraint after the swap.
+        int du = current.Degree(candidate.u) + 1 -
+                 ((candidate.u == removed.u || candidate.u == removed.v) ? 1
+                                                                         : 0);
+        int dv = current.Degree(candidate.v) + 1 -
+                 ((candidate.v == removed.u || candidate.v == removed.v) ? 1
+                                                                         : 0);
+        if (du > options_.max_degree || dv > options_.max_degree) continue;
+
+        std::vector<Edge> edges;
+        edges.reserve(current.edges().size());
+        for (const auto& e : current.edges()) {
+          if ((e.u == removed.u && e.v == removed.v) ||
+              (e.u == removed.v && e.v == removed.u)) {
+            continue;
+          }
+          edges.push_back(e);
+        }
+        edges.push_back(candidate);
+        auto trial = DisseminationTree::FromEdges(current.num_nodes(), edges);
+        if (!trial.ok()) continue;
+        double cost = TreeCost(*trial, flows);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_edges = std::move(edges);
+        }
+      }
+    }
+
+    if (best_edges.empty() ||
+        best_cost >=
+            current_cost * (1.0 - options_.min_relative_improvement)) {
+      break;
+    }
+    COSMOS_ASSIGN_OR_RETURN(
+        current, DisseminationTree::FromEdges(current.num_nodes(),
+                                              best_edges));
+    current_cost = best_cost;
+    ++local.swaps_applied;
+  }
+
+  local.final_cost = current_cost;
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,70 @@
+#ifndef COSMOS_OVERLAY_OPTIMIZER_H_
+#define COSMOS_OVERLAY_OPTIMIZER_H_
+
+#include <functional>
+#include <map>
+
+#include "overlay/dissemination_tree.h"
+
+namespace cosmos {
+
+// A persistent data flow used by the optimizer's cost model: `rate_bps`
+// bytes/sec travel from `source` to `sink` along the tree path.
+struct Flow {
+  NodeId source = 0;
+  NodeId sink = 0;
+  double rate_bps = 0.0;
+};
+
+struct OptimizerOptions {
+  // Stop after this many accepted reorganizations.
+  int max_swaps = 64;
+  // A swap must improve total cost by at least this factor to be applied.
+  double min_relative_improvement = 1e-6;
+  // Node capability constraint: no node may exceed this tree degree.
+  int max_degree = 32;
+  // Configurable cost of carrying `traffic_bps` over `edge` (paper §3.2:
+  // "a configurable cost function defined on these parameters"). The default
+  // is delay × traffic; an idle link still costs its delay so the tree stays
+  // short where no traffic flows.
+  std::function<double(const Edge& edge, double traffic_bps)> edge_cost;
+};
+
+// The overlay network optimizer (paper §3.2, refs [18,19]): monitors link
+// delays and flow rates and applies local reorganizations of the
+// dissemination tree — replacing a tree edge with a cheaper overlay edge
+// across the same cut — while the move is beneficial under the cost
+// function.
+class OverlayOptimizer {
+ public:
+  OverlayOptimizer(const Graph& overlay, OptimizerOptions options = {});
+
+  // Per-edge traffic (bps) induced by routing every flow along its tree
+  // path. Keyed by the canonical edge pair.
+  std::map<std::pair<NodeId, NodeId>, double> EdgeTraffic(
+      const DisseminationTree& tree, const std::vector<Flow>& flows) const;
+
+  // Total cost of `tree` carrying `flows`.
+  double TreeCost(const DisseminationTree& tree,
+                  const std::vector<Flow>& flows) const;
+
+  struct Stats {
+    int swaps_applied = 0;
+    double initial_cost = 0.0;
+    double final_cost = 0.0;
+  };
+
+  // Greedy local search: repeatedly applies the best improving edge swap.
+  // The result is always a valid spanning tree of the overlay.
+  Result<DisseminationTree> Optimize(const DisseminationTree& tree,
+                                     const std::vector<Flow>& flows,
+                                     Stats* stats = nullptr) const;
+
+ private:
+  const Graph& overlay_;
+  OptimizerOptions options_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_OVERLAY_OPTIMIZER_H_

@@ -1,0 +1,102 @@
+#include "overlay/spanning_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace cosmos {
+
+Result<std::vector<Edge>> MinimumSpanningTree(const Graph& g) {
+  const int n = g.num_nodes();
+  if (n == 0) return std::vector<Edge>{};
+  if (!g.IsConnected()) {
+    return Status::FailedPrecondition("graph is not connected");
+  }
+  std::vector<bool> in_tree(n, false);
+  std::vector<Edge> out;
+  out.reserve(n - 1);
+  using Item = std::pair<double, std::pair<NodeId, NodeId>>;  // (w, (to, from))
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  in_tree[0] = true;
+  for (const auto& [v, w] : g.Neighbors(0)) pq.push({w, {v, 0}});
+  while (!pq.empty() && static_cast<int>(out.size()) < n - 1) {
+    auto [w, edge] = pq.top();
+    pq.pop();
+    auto [to, from] = edge;
+    if (in_tree[to]) continue;
+    in_tree[to] = true;
+    out.push_back(Edge{from, to, w});
+    for (const auto& [v, w2] : g.Neighbors(to)) {
+      if (!in_tree[v]) pq.push({w2, {v, to}});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Edge>> RandomSpanningTree(const Graph& g, Rng& rng) {
+  const int n = g.num_nodes();
+  if (n == 0) return std::vector<Edge>{};
+  if (!g.IsConnected()) {
+    return Status::FailedPrecondition("graph is not connected");
+  }
+  // Randomized frontier expansion: keep the frontier edges, pick uniformly.
+  std::vector<bool> in_tree(n, false);
+  std::vector<Edge> out;
+  std::vector<std::pair<NodeId, NodeId>> frontier;  // (from-in-tree, to)
+  NodeId start = static_cast<NodeId>(rng.NextBounded(n));
+  in_tree[start] = true;
+  for (const auto& [v, w] : g.Neighbors(start)) frontier.push_back({start, v});
+  while (static_cast<int>(out.size()) < n - 1) {
+    size_t pick = rng.NextBounded(frontier.size());
+    auto [from, to] = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    if (in_tree[to]) continue;
+    in_tree[to] = true;
+    double w = g.EdgeWeight(from, to).value_or(1.0);
+    out.push_back(Edge{from, to, w});
+    for (const auto& [v, w2] : g.Neighbors(to)) {
+      if (!in_tree[v]) frontier.push_back({to, v});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Edge>> ShortestPathTree(const Graph& g, NodeId root) {
+  const int n = g.num_nodes();
+  if (root < 0 || root >= n) {
+    return Status::InvalidArgument("bad root");
+  }
+  if (!g.IsConnected()) {
+    return Status::FailedPrecondition("graph is not connected");
+  }
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> parent(n, -1);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[root] = 0;
+  pq.push({0.0, root});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        parent[v] = u;
+        pq.push({dist[v], v});
+      }
+    }
+  }
+  std::vector<Edge> out;
+  out.reserve(n - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    double w = g.EdgeWeight(parent[v], v).value_or(1.0);
+    out.push_back(Edge{parent[v], v, w});
+  }
+  return out;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,26 @@
+#ifndef COSMOS_OVERLAY_SPANNING_TREE_H_
+#define COSMOS_OVERLAY_SPANNING_TREE_H_
+
+#include "common/random.h"
+#include "overlay/graph.h"
+
+namespace cosmos {
+
+// Spanning-tree construction over the overlay graph. The paper's evaluation
+// builds a minimum spanning tree over the BRITE topology as the
+// dissemination tree; the random tree exists for the overlay-optimizer
+// ablation.
+
+// Prim's MST. Requires a connected graph.
+Result<std::vector<Edge>> MinimumSpanningTree(const Graph& g);
+
+// A uniformly random spanning tree (random-walk/Wilson-lite: randomized
+// BFS), used as the ablation baseline.
+Result<std::vector<Edge>> RandomSpanningTree(const Graph& g, Rng& rng);
+
+// Shortest-path tree rooted at `root` (union of Dijkstra parent edges).
+Result<std::vector<Edge>> ShortestPathTree(const Graph& g, NodeId root);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_OVERLAY_SPANNING_TREE_H_

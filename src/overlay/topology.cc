@@ -1,0 +1,149 @@
+#include "overlay/topology.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cosmos {
+namespace {
+
+double Dist(const std::pair<double, double>& a,
+            const std::pair<double, double>& b) {
+  double dx = a.first - b.first;
+  double dy = a.second - b.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<std::pair<double, double>> RandomCoordinates(int n, double size,
+                                                         Rng& rng) {
+  std::vector<std::pair<double, double>> coords;
+  coords.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    coords.emplace_back(rng.NextDouble(0, size), rng.NextDouble(0, size));
+  }
+  return coords;
+}
+
+// Link weight: geometric distance, floored so no link is free.
+double LinkWeight(const std::pair<double, double>& a,
+                  const std::pair<double, double>& b) {
+  return std::max(Dist(a, b), 0.1);
+}
+
+}  // namespace
+
+Topology GenerateBarabasiAlbert(const TopologyOptions& options) {
+  COSMOS_CHECK(options.num_nodes >= 2);
+  const int m = std::max(1, options.ba_edges_per_node);
+  Rng rng(options.seed);
+
+  Topology topo;
+  topo.coordinates =
+      RandomCoordinates(options.num_nodes, options.plane_size, rng);
+  topo.graph = Graph(options.num_nodes);
+
+  // Repeated-endpoint list: sampling uniformly from it implements
+  // preferential attachment (probability proportional to degree).
+  std::vector<NodeId> endpoints;
+
+  // Seed clique over the first m+1 nodes.
+  int seed_n = std::min(options.num_nodes, m + 1);
+  for (int u = 0; u < seed_n; ++u) {
+    for (int v = u + 1; v < seed_n; ++v) {
+      (void)topo.graph.AddEdge(u, v,
+                               LinkWeight(topo.coordinates[u],
+                                          topo.coordinates[v]));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  for (int u = seed_n; u < options.num_nodes; ++u) {
+    int added = 0;
+    int guard = 0;
+    while (added < m && guard < 1000) {
+      ++guard;
+      NodeId target =
+          endpoints[rng.NextBounded(endpoints.size())];
+      if (target == u || topo.graph.HasEdge(u, target)) continue;
+      (void)topo.graph.AddEdge(u, target,
+                               LinkWeight(topo.coordinates[u],
+                                          topo.coordinates[target]));
+      endpoints.push_back(u);
+      endpoints.push_back(target);
+      ++added;
+    }
+    // Degenerate fallback (tiny graphs): connect to the previous node.
+    if (added == 0) {
+      (void)topo.graph.AddEdge(u, u - 1,
+                               LinkWeight(topo.coordinates[u],
+                                          topo.coordinates[u - 1]));
+      endpoints.push_back(u);
+      endpoints.push_back(u - 1);
+    }
+  }
+  COSMOS_CHECK(topo.graph.IsConnected());
+  return topo;
+}
+
+Topology GenerateWaxman(const TopologyOptions& options) {
+  COSMOS_CHECK(options.num_nodes >= 2);
+  Rng rng(options.seed);
+
+  Topology topo;
+  topo.coordinates =
+      RandomCoordinates(options.num_nodes, options.plane_size, rng);
+  topo.graph = Graph(options.num_nodes);
+
+  // Maximum possible distance on the plane.
+  const double kL = options.plane_size * std::sqrt(2.0);
+  for (int u = 0; u < options.num_nodes; ++u) {
+    for (int v = u + 1; v < options.num_nodes; ++v) {
+      double d = Dist(topo.coordinates[u], topo.coordinates[v]);
+      double p = options.waxman_alpha *
+                 std::exp(-d / (options.waxman_beta * kL));
+      if (rng.NextBool(p)) {
+        (void)topo.graph.AddEdge(
+            u, v, LinkWeight(topo.coordinates[u], topo.coordinates[v]));
+      }
+    }
+  }
+  // Stitch disconnected components with nearest-neighbor edges.
+  while (!topo.graph.IsConnected()) {
+    // Find an unreachable pair and connect the closest cross pair.
+    std::vector<double> dist = topo.graph.ShortestDistances(0);
+    int best_u = -1, best_v = -1;
+    double best_d = 1e300;
+    for (int v = 0; v < options.num_nodes; ++v) {
+      if (!std::isinf(dist[v])) continue;
+      for (int u = 0; u < options.num_nodes; ++u) {
+        if (std::isinf(dist[u])) continue;
+        double d = Dist(topo.coordinates[u], topo.coordinates[v]);
+        if (d < best_d) {
+          best_d = d;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    COSMOS_CHECK(best_u >= 0);
+    (void)topo.graph.AddEdge(best_u, best_v,
+                             LinkWeight(topo.coordinates[best_u],
+                                        topo.coordinates[best_v]));
+  }
+  return topo;
+}
+
+std::vector<int> DegreeHistogram(const Graph& g) {
+  int max_degree = 0;
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, g.Degree(u));
+  }
+  std::vector<int> hist(max_degree + 1, 0);
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    ++hist[g.Degree(u)];
+  }
+  return hist;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,45 @@
+#ifndef COSMOS_OVERLAY_TOPOLOGY_H_
+#define COSMOS_OVERLAY_TOPOLOGY_H_
+
+#include "common/random.h"
+#include "overlay/graph.h"
+
+namespace cosmos {
+
+// Topology generators replacing BRITE (DESIGN.md substitution table). Nodes
+// get synthetic 2-D coordinates; link weights are Euclidean distances
+// (interpreted as milliseconds of delay), matching BRITE's geometric delay
+// assignment.
+
+struct TopologyOptions {
+  int num_nodes = 1000;
+  uint64_t seed = 1;
+  // Barabási–Albert: edges added per new node (m). The generated degree
+  // distribution follows a power law, as with BRITE's router-level mode.
+  int ba_edges_per_node = 2;
+  // Waxman parameters (flat random model, used for ablations).
+  double waxman_alpha = 0.15;
+  double waxman_beta = 0.6;
+  // Plane size for coordinates; weights scale with it.
+  double plane_size = 100.0;
+};
+
+// Generated topology: the graph plus node coordinates.
+struct Topology {
+  Graph graph;
+  std::vector<std::pair<double, double>> coordinates;
+};
+
+// Power-law (preferential attachment) topology; always connected.
+Topology GenerateBarabasiAlbert(const TopologyOptions& options);
+
+// Waxman random geometric topology; retries until connected (adding uniform
+// random edges if the base model leaves isolated components).
+Topology GenerateWaxman(const TopologyOptions& options);
+
+// Degree histogram of a graph (index = degree), for power-law sanity tests.
+std::vector<int> DegreeHistogram(const Graph& g);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_OVERLAY_TOPOLOGY_H_

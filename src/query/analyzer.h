@@ -1,0 +1,142 @@
+#ifndef COSMOS_QUERY_ANALYZER_H_
+#define COSMOS_QUERY_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/conjunct.h"
+#include "query/ast.h"
+#include "stream/catalog.h"
+
+namespace cosmos {
+
+// One resolved FROM entry.
+struct ResolvedSource {
+  FromItem from;
+  std::shared_ptr<const Schema> schema;
+
+  const std::string& alias() const { return from.EffectiveAlias(); }
+};
+
+// A projected output column: attribute `attr` of source `source`, emitted
+// under `out_name` (qualified "alias.attr" for multi-stream queries, bare
+// otherwise, or the user's AS alias).
+struct OutputColumn {
+  size_t source = 0;
+  size_t attr = 0;
+  std::string out_name;
+};
+
+// A resolved aggregate of the SELECT list.
+struct ResolvedAggregate {
+  AggFunc func = AggFunc::kCount;
+  bool star = false;     // COUNT(*)
+  size_t source = 0;     // argument column (when !star)
+  size_t attr = 0;
+  std::string out_name;
+};
+
+namespace internal_analyzer {
+class Analyzer;
+}  // namespace internal_analyzer
+
+// An equi-join conjunct "a.x = b.y" between two distinct sources.
+struct EquiJoin {
+  size_t left_source = 0;
+  size_t left_attr = 0;
+  size_t right_source = 0;
+  size_t right_attr = 0;
+};
+
+// The semantic form of a continuous query: sources resolved against the
+// catalog, the WHERE clause split into per-source canonical selections,
+// equi-join conjuncts, and a cross-source residual, and the SELECT list
+// expanded into concrete output columns. This is the input to the SPE plan
+// builder, the profile composer, and the containment/merging machinery.
+class AnalyzedQuery {
+ public:
+  const ParsedQuery& ast() const { return ast_; }
+  const std::vector<ResolvedSource>& sources() const { return sources_; }
+
+  // Index of the source with `alias`, or -1.
+  int SourceIndex(const std::string& alias) const;
+
+  // WHERE with every column reference rewritten to alias-qualified form;
+  // null when absent.
+  const ExprPtr& normalized_where() const { return normalized_where_; }
+
+  // Canonical selection on source i, with *bare* attribute names (ready to
+  // become the CBN profile filter of that source stream).
+  const ConjunctiveClause& local_selection(size_t i) const {
+    return local_selections_[i];
+  }
+  const std::vector<ConjunctiveClause>& local_selections() const {
+    return local_selections_;
+  }
+
+  const std::vector<EquiJoin>& equi_joins() const { return equi_joins_; }
+
+  // Cross-source conjuncts that are not simple equi-joins; their column
+  // references are alias-qualified, matching the joined-tuple schema.
+  const std::vector<ExprPtr>& cross_residual() const {
+    return cross_residual_;
+  }
+
+  bool is_aggregate() const { return !aggregates_.empty(); }
+  const std::vector<ResolvedAggregate>& aggregates() const {
+    return aggregates_;
+  }
+  // Group-by columns (also the leading output columns of an aggregate
+  // query).
+  const std::vector<OutputColumn>& group_by() const { return group_by_; }
+
+  // Non-aggregate projected columns (empty for aggregate queries; see
+  // group_by() there).
+  const std::vector<OutputColumn>& output_columns() const {
+    return output_columns_;
+  }
+
+  // Schema of the result stream (named `result_name` at analysis time).
+  const std::shared_ptr<const Schema>& output_schema() const {
+    return output_schema_;
+  }
+
+  // The set of attributes of source `i` referenced anywhere in the query
+  // (projection + predicates + joins + group-by); this is the projection
+  // set P of the source profile (paper §4).
+  std::vector<std::string> ReferencedAttributes(size_t i) const;
+
+  // Window size of the i-th source (paper notation T^i).
+  Duration WindowSize(size_t i) const { return sources_[i].from.window.size; }
+
+ private:
+  friend class internal_analyzer::Analyzer;
+
+  ParsedQuery ast_;
+  std::vector<ResolvedSource> sources_;
+  ExprPtr normalized_where_;
+  std::vector<ConjunctiveClause> local_selections_;
+  std::vector<EquiJoin> equi_joins_;
+  std::vector<ExprPtr> cross_residual_;
+  std::vector<OutputColumn> output_columns_;
+  std::vector<ResolvedAggregate> aggregates_;
+  std::vector<OutputColumn> group_by_;
+  std::shared_ptr<const Schema> output_schema_;
+};
+
+// Resolves `parsed` against `catalog`, producing the semantic form. The
+// result stream is named `result_name` (unique stream names are assigned by
+// the query layer; see core/processor.h).
+Result<AnalyzedQuery> Analyze(const ParsedQuery& parsed,
+                              const Catalog& catalog,
+                              const std::string& result_name);
+
+// Convenience: parse + analyze.
+Result<AnalyzedQuery> ParseAndAnalyze(const std::string& cql,
+                                      const Catalog& catalog,
+                                      const std::string& result_name);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_QUERY_ANALYZER_H_

@@ -1,0 +1,84 @@
+#ifndef COSMOS_QUERY_AST_H_
+#define COSMOS_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "expr/expression.h"
+
+namespace cosmos {
+
+// Time-based sliding window predicate w(T) (paper §4): defines the temporal
+// relation of tuples that arrived within the last T time units.
+//   [Now]               -> size == 0
+//   [Range n unit]      -> size == n * unit
+//   [Range Unbounded]   -> size == kInfiniteDuration
+struct WindowSpec {
+  Duration size = kInfiniteDuration;
+
+  static WindowSpec Now() { return WindowSpec{0}; }
+  static WindowSpec Range(Duration d) { return WindowSpec{d}; }
+  static WindowSpec Unbounded() { return WindowSpec{kInfiniteDuration}; }
+
+  bool is_now() const { return size == 0; }
+  bool is_unbounded() const { return size == kInfiniteDuration; }
+
+  std::string ToString() const;
+
+  bool operator==(const WindowSpec& other) const {
+    return size == other.size;
+  }
+};
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc f);
+
+// One entry of the SELECT list.
+struct SelectItem {
+  enum class Kind {
+    kStar,           // SELECT *
+    kQualifiedStar,  // SELECT O.*
+    kColumn,         // SELECT O.itemID  /  SELECT itemID
+    kAggregate,      // SELECT SUM(O.price)  /  COUNT(*)
+  };
+
+  Kind kind = Kind::kColumn;
+  std::string qualifier;  // alias, for kQualifiedStar / kColumn / agg arg
+  std::string name;       // column name (kColumn) or agg argument column
+  AggFunc func = AggFunc::kCount;  // kAggregate only
+  bool agg_star = false;           // COUNT(*)
+  std::string alias;               // optional AS name
+
+  std::string ToString() const;
+  bool operator==(const SelectItem& other) const;
+};
+
+// One stream reference in the FROM clause: "OpenAuction [Range 3 Hour] O".
+struct FromItem {
+  std::string stream;  // registered stream name
+  WindowSpec window;
+  std::string alias;   // defaults to the stream name when omitted
+
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? stream : alias;
+  }
+
+  std::string ToString() const;
+  bool operator==(const FromItem& other) const;
+};
+
+// A parsed (not yet analyzed) continuous query.
+struct ParsedQuery {
+  std::vector<SelectItem> select;
+  std::vector<FromItem> from;
+  ExprPtr where;  // nullptr when absent
+  std::vector<ExprPtr> group_by;  // column refs
+
+  std::string ToString() const;  // round-trippable CQL text
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_QUERY_AST_H_

@@ -1,0 +1,193 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenType t, size_t start, size_t len) {
+    Token tok;
+    tok.type = t;
+    tok.text = input.substr(start, len);
+    tok.offset = start;
+    out.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      push(TokenType::kIdentifier, start, i - start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i])))
+          ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t mark = i;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i])))
+            ++i;
+        } else {
+          i = mark;  // not an exponent; 'e' belongs to the next token
+        }
+      }
+      Token tok;
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = input.substr(start, i - start);
+      tok.offset = start;
+      if (is_float) {
+        tok.float_value = std::stod(tok.text);
+      } else {
+        tok.int_value = std::stoll(tok.text);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = i;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += input[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      Token tok;
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tok.offset = start;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case ',':
+        push(TokenType::kComma, start, 1);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, start, 1);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, start, 1);
+        ++i;
+        break;
+      case '(':
+        push(TokenType::kLParen, start, 1);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, start, 1);
+        ++i;
+        break;
+      case '[':
+        push(TokenType::kLBracket, start, 1);
+        ++i;
+        break;
+      case ']':
+        push(TokenType::kRBracket, start, 1);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, start, 1);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, start, 1);
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, start, 1);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, start, 1);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kNe, start, 2);
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StrFormat("unexpected '!' at offset %zu", i));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kLe, start, 2);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kNe, start, 2);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start, 1);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kGe, start, 2);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start, 1);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,51 @@
+#ifndef COSMOS_QUERY_LEXER_H_
+#define COSMOS_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cosmos {
+
+enum class TokenType {
+  kIdentifier,  // unquoted name (keywords are identifiers; parser decides)
+  kInteger,
+  kFloat,
+  kString,   // 'single quoted'
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kEq,       // =
+  kNe,       // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // raw text (identifier/keyword spelled as written)
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;     // byte offset in the source, for error messages
+
+  bool IsKeyword(const char* kw) const;  // case-insensitive identifier match
+};
+
+// Tokenizes a CQL statement. Fails with kParseError on malformed input
+// (unterminated string, stray character).
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_QUERY_LEXER_H_

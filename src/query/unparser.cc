@@ -1,0 +1,151 @@
+#include "query/unparser.h"
+
+#include "common/string_util.h"
+
+namespace cosmos {
+namespace {
+
+// Qualifies the attribute names of a local-selection clause with `alias`.
+ExprPtr QualifiedClauseExpr(const ConjunctiveClause& clause,
+                            const std::string& alias) {
+  ConjunctiveClause qualified;
+  for (const auto& [attr, c] : clause.constraints()) {
+    std::string name = alias + "." + attr;
+    if (!c.interval.IsAll()) qualified.ConstrainInterval(name, c.interval);
+    if (c.eq.has_value()) qualified.ConstrainEquals(name, *c.eq);
+    for (const auto& v : c.neq) qualified.ConstrainNotEquals(name, v);
+  }
+  ExprPtr expr = qualified.ToExpr();
+  // Residual conjuncts carry bare names; rebuild them qualified.
+  for (const auto& r : clause.residual()) {
+    // A residual may reference several attributes; qualify each column ref.
+    struct Qualifier {
+      const std::string& alias;
+      ExprPtr Rewrite(const ExprPtr& e) const {
+        switch (e->kind()) {
+          case ExprKind::kLiteral:
+            return e;
+          case ExprKind::kColumnRef: {
+            const auto& col = static_cast<const ColumnRefExpr&>(*e);
+            if (!col.qualifier().empty()) return e;
+            return MakeColumn(alias, col.name());
+          }
+          case ExprKind::kComparison: {
+            const auto& c = static_cast<const ComparisonExpr&>(*e);
+            return MakeCompare(c.op(), Rewrite(c.lhs()), Rewrite(c.rhs()));
+          }
+          case ExprKind::kLogical: {
+            const auto& l = static_cast<const LogicalExpr&>(*e);
+            std::vector<ExprPtr> children;
+            for (const auto& ch : l.children()) children.push_back(Rewrite(ch));
+            if (l.op() == LogicalOp::kNot) return MakeNot(children[0]);
+            return l.op() == LogicalOp::kAnd ? MakeAnd(std::move(children))
+                                             : MakeOr(std::move(children));
+          }
+          case ExprKind::kArithmetic: {
+            const auto& a = static_cast<const ArithmeticExpr&>(*e);
+            return MakeArith(a.op(), Rewrite(a.lhs()), Rewrite(a.rhs()));
+          }
+        }
+        return e;
+      }
+    } q{alias};
+    expr = ConjoinNullable(expr, q.Rewrite(r));
+  }
+  return expr;
+}
+
+}  // namespace
+
+ExprPtr RebuildWhere(const AnalyzedQuery& query) {
+  ExprPtr where;
+  for (size_t i = 0; i < query.sources().size(); ++i) {
+    const ConjunctiveClause& sel = query.local_selection(i);
+    if (sel.IsTautology()) continue;
+    where = ConjoinNullable(
+        where, QualifiedClauseExpr(sel, query.sources()[i].alias()));
+  }
+  for (const auto& j : query.equi_joins()) {
+    const auto& ls = query.sources()[j.left_source];
+    const auto& rs = query.sources()[j.right_source];
+    where = ConjoinNullable(
+        where,
+        MakeCompare(CompareOp::kEq,
+                    MakeColumn(ls.alias(),
+                               ls.schema->attribute(j.left_attr).name),
+                    MakeColumn(rs.alias(),
+                               rs.schema->attribute(j.right_attr).name)));
+  }
+  for (const auto& r : query.cross_residual()) {
+    where = ConjoinNullable(where, r);
+  }
+  return where;
+}
+
+std::string Unparse(const AnalyzedQuery& query) {
+  std::string out = "SELECT ";
+  std::vector<std::string> items;
+  const bool multi = query.sources().size() > 1;
+
+  if (query.is_aggregate()) {
+    for (const auto& g : query.group_by()) {
+      const auto& s = query.sources()[g.source];
+      std::string ref =
+          multi ? s.alias() + "." + s.schema->attribute(g.attr).name
+                : s.schema->attribute(g.attr).name;
+      items.push_back(ref);
+    }
+    for (const auto& a : query.aggregates()) {
+      std::string arg = "*";
+      if (!a.star) {
+        const auto& s = query.sources()[a.source];
+        arg = multi ? s.alias() + "." + s.schema->attribute(a.attr).name
+                    : s.schema->attribute(a.attr).name;
+      }
+      items.push_back(StrFormat("%s(%s) AS %s", AggFuncToString(a.func),
+                                arg.c_str(), a.out_name.c_str()));
+    }
+  } else {
+    for (const auto& c : query.output_columns()) {
+      const auto& s = query.sources()[c.source];
+      std::string ref =
+          multi ? s.alias() + "." + s.schema->attribute(c.attr).name
+                : s.schema->attribute(c.attr).name;
+      // Emit an alias when the output name differs from the default.
+      std::string def_name =
+          multi ? s.alias() + "." + s.schema->attribute(c.attr).name
+                : s.schema->attribute(c.attr).name;
+      if (c.out_name != def_name) {
+        ref += " AS " + c.out_name;
+      }
+      items.push_back(std::move(ref));
+    }
+  }
+  out += StrJoin(items, ", ");
+
+  out += " FROM ";
+  std::vector<std::string> froms;
+  for (const auto& s : query.sources()) {
+    std::string f = s.from.stream + " " + s.from.window.ToString();
+    if (s.alias() != s.from.stream) f += " " + s.alias();
+    froms.push_back(std::move(f));
+  }
+  out += StrJoin(froms, ", ");
+
+  ExprPtr where = RebuildWhere(query);
+  if (where != nullptr) out += " WHERE " + where->ToString();
+
+  if (!query.group_by().empty()) {
+    std::vector<std::string> groups;
+    for (const auto& g : query.group_by()) {
+      const auto& s = query.sources()[g.source];
+      groups.push_back(multi
+                           ? s.alias() + "." + s.schema->attribute(g.attr).name
+                           : s.schema->attribute(g.attr).name);
+    }
+    out += " GROUP BY " + StrJoin(groups, ", ");
+  }
+  return out;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,25 @@
+#ifndef COSMOS_QUERY_UNPARSER_H_
+#define COSMOS_QUERY_UNPARSER_H_
+
+#include <string>
+
+#include "query/analyzer.h"
+
+namespace cosmos {
+
+// Reconstructs CQL text from the semantic form. Used by the query-merging
+// layer: representative queries are composed semantically and handed to a
+// processor's SPE through its query wrapper as plain CQL, mirroring the
+// paper's loose coupling between COSMOS and heterogeneous SPEs.
+// Round-trip guarantee (tested): ParseAndAnalyze(Unparse(q)) is semantically
+// equal to q.
+std::string Unparse(const AnalyzedQuery& query);
+
+// Rebuilds the WHERE expression (qualified names) of the semantic form:
+// local selections AND equi-joins AND cross residual. Returns nullptr when
+// the query has no predicate.
+ExprPtr RebuildWhere(const AnalyzedQuery& query);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_QUERY_UNPARSER_H_

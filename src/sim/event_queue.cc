@@ -1,0 +1,41 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace cosmos {
+
+uint64_t EventQueue::Push(Timestamp when, Callback cb) {
+  uint64_t id = next_seq_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventQueue::Cancel(uint64_t id) { return callbacks_.erase(id) > 0; }
+
+void EventQueue::SkipTombstones() const {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().seq) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+Timestamp EventQueue::NextTime() const {
+  SkipTombstones();
+  if (heap_.empty()) return kInvalidTimestamp;
+  return heap_.top().when;
+}
+
+std::pair<Timestamp, EventQueue::Callback> EventQueue::Pop() {
+  SkipTombstones();
+  COSMOS_CHECK(!heap_.empty());
+  Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.seq);
+  COSMOS_CHECK(it != callbacks_.end());
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  return {e.when, std::move(cb)};
+}
+
+}  // namespace cosmos

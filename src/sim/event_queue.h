@@ -1,0 +1,56 @@
+#ifndef COSMOS_SIM_EVENT_QUEUE_H_
+#define COSMOS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "common/time.h"
+
+namespace cosmos {
+
+// A deterministic future-event list: events fire in (time, insertion order).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Enqueues `cb` to fire at absolute time `when`. Returns an id usable with
+  // Cancel().
+  uint64_t Push(Timestamp when, Callback cb);
+
+  // Cancels a pending event; returns false if it already fired or was
+  // cancelled. Cancellation is lazy (tombstoned in the heap).
+  bool Cancel(uint64_t id);
+
+  bool Empty() const { return callbacks_.empty(); }
+  size_t size() const { return callbacks_.size(); }
+
+  // Timestamp of the earliest live event; kInvalidTimestamp when empty.
+  Timestamp NextTime() const;
+
+  // Removes and returns the earliest live event. Requires !Empty().
+  std::pair<Timestamp, Callback> Pop();
+
+ private:
+  struct Entry {
+    Timestamp when;
+    uint64_t seq;
+    // Inverted so the priority_queue yields earliest (then lowest seq) first.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void SkipTombstones() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  std::unordered_map<uint64_t, Callback> callbacks_;  // live events
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SIM_EVENT_QUEUE_H_

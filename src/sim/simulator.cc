@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace cosmos {
+
+uint64_t Simulator::Schedule(Duration delay, EventQueue::Callback cb) {
+  COSMOS_CHECK(delay >= 0);
+  return queue_.Push(now_ + delay, std::move(cb));
+}
+
+uint64_t Simulator::ScheduleAt(Timestamp when, EventQueue::Callback cb) {
+  COSMOS_CHECK(when >= now_);
+  return queue_.Push(when, std::move(cb));
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  auto [when, cb] = queue_.Pop();
+  COSMOS_CHECK(when >= now_);
+  now_ = when;
+  cb();
+  return true;
+}
+
+size_t Simulator::Run() {
+  stopped_ = false;
+  size_t n = 0;
+  while (!stopped_ && Step()) ++n;
+  return n;
+}
+
+size_t Simulator::RunUntil(Timestamp until) {
+  stopped_ = false;
+  size_t n = 0;
+  while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= until) {
+    Step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,55 @@
+#ifndef COSMOS_SIM_SIMULATOR_H_
+#define COSMOS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sim/event_queue.h"
+
+namespace cosmos {
+
+// Discrete-event simulator: a virtual clock driven by the event queue.
+// All COSMOS network experiments run under one Simulator, which makes every
+// benchmark fully deterministic and independent of wall-clock speed.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Timestamp now() const { return now_; }
+
+  // Schedules `cb` to run `delay` after now (delay >= 0).
+  uint64_t Schedule(Duration delay, EventQueue::Callback cb);
+
+  // Schedules `cb` at absolute virtual time `when` (must be >= now).
+  uint64_t ScheduleAt(Timestamp when, EventQueue::Callback cb);
+
+  bool Cancel(uint64_t id) { return queue_.Cancel(id); }
+
+  // Runs until the event queue drains or Stop() is called. Returns the
+  // number of events processed.
+  size_t Run();
+
+  // Runs events with time <= `until` (inclusive); the clock ends at
+  // min(until, last event time) or `until` if events remain.
+  size_t RunUntil(Timestamp until);
+
+  // Processes exactly one event if present; returns whether one fired.
+  bool Step();
+
+  // Stops Run() after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  bool HasPendingEvents() const { return !queue_.Empty(); }
+  Timestamp NextEventTime() const { return queue_.NextTime(); }
+
+ private:
+  EventQueue queue_;
+  Timestamp now_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SIM_SIMULATOR_H_

@@ -1,0 +1,70 @@
+#ifndef COSMOS_SPE_AGGREGATE_H_
+#define COSMOS_SPE_AGGREGATE_H_
+
+#include <map>
+#include <vector>
+
+#include "query/ast.h"
+#include "spe/operator.h"
+#include "spe/window.h"
+
+namespace cosmos {
+
+// One aggregate computed by the operator.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  bool star = false;   // COUNT(*)
+  size_t arg = 0;      // input attribute index (when !star)
+};
+
+// Windowed grouped aggregation over one input stream: maintains the
+// sliding-window contents per Theorem 2's w(T) semantics and, on each
+// arrival, emits the refreshed aggregate row of the arriving tuple's group
+// (timestamp = arrival time). Evictions update state silently — the next
+// emission of a group reflects them; no retraction rows are produced (an
+// Istream-style simplification documented in DESIGN.md).
+class WindowAggregateOperator final : public Operator {
+ public:
+  // `group_keys` are input attribute indexes; the output schema lists the
+  // group columns first, then one column per AggSpec.
+  WindowAggregateOperator(Duration window, std::vector<size_t> group_keys,
+                          std::vector<AggSpec> aggs,
+                          std::shared_ptr<const Schema> output_schema);
+
+  void Push(size_t port, const Tuple& tuple) override;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  // Group key as a vector of values (ordered map keeps determinism).
+  struct KeyLess {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+  struct GroupState {
+    int64_t count = 0;           // rows in window
+    std::vector<double> sums;    // per numeric agg
+    std::vector<int64_t> counts; // per agg: rows contributing
+  };
+
+  std::vector<Value> KeyOf(const Tuple& t) const;
+  void Apply(GroupState& g, const Tuple& t, int sign);
+  Value Finalize(const GroupState& g, size_t agg_index,
+                 const std::vector<Value>& key) const;
+  // MIN/MAX need the live window contents of the group; recomputed on
+  // demand (amortized fine for the workloads here).
+  Value RecomputeExtremum(const std::vector<Value>& key, size_t agg_index,
+                          bool want_min) const;
+
+  Duration window_size_;
+  std::vector<size_t> group_keys_;
+  std::vector<AggSpec> aggs_;
+  std::shared_ptr<const Schema> output_schema_;
+
+  WindowBuffer window_;
+  std::map<std::vector<Value>, GroupState, KeyLess> groups_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SPE_AGGREGATE_H_

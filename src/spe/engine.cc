@@ -1,0 +1,61 @@
+#include "spe/engine.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+Status SpeEngine::InstallQuery(const std::string& id,
+                               const AnalyzedQuery& query, ResultSink sink) {
+  if (plans_.count(id) > 0) {
+    return Status::AlreadyExists(StrFormat("query '%s'", id.c_str()));
+  }
+  COSMOS_ASSIGN_OR_RETURN(auto plan, QueryPlan::Build(query));
+  plan->SetSink([this, id, sink = std::move(sink)](const Tuple& t) {
+    ++results_emitted_;
+    if (sink) sink(id, t);
+  });
+  // Register distinct consumed streams (Push fans to every matching port
+  // internally, so one registration per stream suffices).
+  std::set<std::string> streams(plan->input_streams().begin(),
+                                plan->input_streams().end());
+  for (const auto& s : streams) {
+    by_stream_.emplace(s, plan.get());
+  }
+  plans_.emplace(id, std::move(plan));
+  return Status::OK();
+}
+
+Status SpeEngine::RemoveQuery(const std::string& id) {
+  auto it = plans_.find(id);
+  if (it == plans_.end()) {
+    return Status::NotFound(StrFormat("query '%s'", id.c_str()));
+  }
+  QueryPlan* plan = it->second.get();
+  for (auto sit = by_stream_.begin(); sit != by_stream_.end();) {
+    if (sit->second == plan) {
+      sit = by_stream_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+  plans_.erase(it);
+  return Status::OK();
+}
+
+const QueryPlan* SpeEngine::plan(const std::string& id) const {
+  auto it = plans_.find(id);
+  return it == plans_.end() ? nullptr : it->second.get();
+}
+
+void SpeEngine::PushSourceTuple(const std::string& stream,
+                                const Tuple& tuple) {
+  ++tuples_pushed_;
+  auto [begin, end] = by_stream_.equal_range(stream);
+  for (auto it = begin; it != end; ++it) {
+    it->second->Push(stream, tuple);
+  }
+}
+
+}  // namespace cosmos

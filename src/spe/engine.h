@@ -1,0 +1,54 @@
+#ifndef COSMOS_SPE_ENGINE_H_
+#define COSMOS_SPE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "spe/plan.h"
+
+namespace cosmos {
+
+// Result tuples are reported with the id of the query that produced them;
+// the result stream's name is the plan's output schema name.
+using ResultSink =
+    std::function<void(const std::string& query_id, const Tuple& tuple)>;
+
+// The single-site stream processing engine: a set of live query plans fed
+// by source tuples in event-time order. COSMOS treats SPEs as pluggable
+// (paper §2); this engine is the reference implementation behind the native
+// wrappers in spe/wrapper.h.
+class SpeEngine {
+ public:
+  SpeEngine() = default;
+
+  // Compiles and installs `query` under `id`.
+  Status InstallQuery(const std::string& id, const AnalyzedQuery& query,
+                      ResultSink sink);
+
+  Status RemoveQuery(const std::string& id);
+
+  bool HasQuery(const std::string& id) const {
+    return plans_.count(id) > 0;
+  }
+  size_t num_queries() const { return plans_.size(); }
+
+  const QueryPlan* plan(const std::string& id) const;
+
+  // Feeds one source tuple to every plan consuming `stream`.
+  void PushSourceTuple(const std::string& stream, const Tuple& tuple);
+
+  uint64_t tuples_pushed() const { return tuples_pushed_; }
+  uint64_t results_emitted() const { return results_emitted_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<QueryPlan>> plans_;
+  // stream -> plan ids consuming it (a plan may appear once per port).
+  std::multimap<std::string, QueryPlan*> by_stream_;
+  uint64_t tuples_pushed_ = 0;
+  uint64_t results_emitted_ = 0;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SPE_ENGINE_H_

@@ -1,0 +1,132 @@
+#include "spe/join.h"
+
+#include "common/logging.h"
+
+namespace cosmos {
+
+size_t WindowJoinOperator::SideBuffer::KeyHash(const Tuple& t) const {
+  size_t h = 0xCBF29CE484222325ULL;
+  for (size_t i : key_attrs) {
+    h ^= t.value(i).Hash();
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void WindowJoinOperator::SideBuffer::Insert(const Tuple& t) {
+  uint64_t seq = base + tuples.size();
+  tuples.push_back(t);
+  if (!key_attrs.empty()) {
+    index.emplace(KeyHash(t), seq);
+  }
+}
+
+void WindowJoinOperator::SideBuffer::Evict(Timestamp now) {
+  if (window == kInfiniteDuration) return;
+  const Timestamp cutoff = now - window;
+  while (!tuples.empty() && tuples.front().timestamp() < cutoff) {
+    if (!key_attrs.empty()) {
+      size_t h = KeyHash(tuples.front());
+      auto [begin, end] = index.equal_range(h);
+      for (auto it = begin; it != end; ++it) {
+        if (it->second == base) {
+          index.erase(it);
+          break;
+        }
+      }
+    }
+    tuples.pop_front();
+    ++base;
+  }
+}
+
+WindowJoinOperator::WindowJoinOperator(
+    Duration left_window, Duration right_window,
+    std::vector<std::pair<size_t, size_t>> key_pairs, ExprPtr residual,
+    std::shared_ptr<const Schema> output_schema)
+    : left_window_(left_window),
+      right_window_(right_window),
+      residual_(std::move(residual)),
+      output_schema_(std::move(output_schema)) {
+  for (const auto& [l, r] : key_pairs) {
+    left_keys_.push_back(l);
+    right_keys_.push_back(r);
+  }
+  left_.window = left_window_;
+  left_.key_attrs = left_keys_;
+  right_.window = right_window_;
+  right_.key_attrs = right_keys_;
+}
+
+bool WindowJoinOperator::KeysEqual(const Tuple& l, const Tuple& r) const {
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    const Value& a = l.value(left_keys_[i]);
+    const Value& b = r.value(right_keys_[i]);
+    auto cmp = a.Compare(b);
+    if (!cmp.ok() || *cmp != 0) return false;
+  }
+  return true;
+}
+
+bool WindowJoinOperator::TemporalOk(const Tuple& l, const Tuple& r) const {
+  int64_t diff = l.timestamp() - r.timestamp();
+  return (left_window_ == kInfiniteDuration || diff >= -left_window_) &&
+         (right_window_ == kInfiniteDuration || diff <= right_window_);
+}
+
+void WindowJoinOperator::EmitJoined(const Tuple& l, const Tuple& r) {
+  std::vector<Value> values;
+  values.reserve(l.num_values() + r.num_values());
+  for (const auto& v : l.values()) values.push_back(v);
+  for (const auto& v : r.values()) values.push_back(v);
+  Timestamp ts = std::max(l.timestamp(), r.timestamp());
+  Tuple joined(output_schema_, std::move(values), ts);
+  if (!residual_.has_expr() || residual_.Matches(joined)) Emit(joined);
+}
+
+void WindowJoinOperator::Probe(const Tuple& arriving, bool arriving_is_left) {
+  // Lemma 1 condition: -T1 <= t1.ts - t2.ts <= T2. Evict the other side
+  // against the window that bounds *its* age relative to the arrival.
+  SideBuffer& other = arriving_is_left ? right_ : left_;
+  other.Evict(arriving.timestamp());
+
+  auto try_pair = [&](const Tuple& resident) {
+    const Tuple& l = arriving_is_left ? arriving : resident;
+    const Tuple& r = arriving_is_left ? resident : arriving;
+    if (!TemporalOk(l, r)) return;
+    if (!KeysEqual(l, r)) return;
+    EmitJoined(l, r);
+  };
+
+  if (left_keys_.empty()) {
+    // Temporal cross join: scan the resident window.
+    for (const auto& resident : other.tuples) try_pair(resident);
+  } else {
+    // Hash probe: only residents with a matching key hash. The arrival is
+    // hashed with its own side's key attributes; Value::Hash makes equal
+    // cross-type numerics collide, so equal keys always share a bucket.
+    const std::vector<size_t>& arrival_keys =
+        arriving_is_left ? left_keys_ : right_keys_;
+    size_t h = 0xCBF29CE484222325ULL;
+    for (size_t i : arrival_keys) {
+      h ^= arriving.value(i).Hash();
+      h *= 0x100000001B3ULL;
+    }
+    auto [begin, end] = other.index.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      const Tuple& resident =
+          other.tuples[static_cast<size_t>(it->second - other.base)];
+      try_pair(resident);
+    }
+  }
+
+  // Insert the arrival into its own buffer for future probes.
+  (arriving_is_left ? left_ : right_).Insert(arriving);
+}
+
+void WindowJoinOperator::Push(size_t port, const Tuple& tuple) {
+  COSMOS_CHECK(port == 0 || port == 1);
+  Probe(tuple, port == 0);
+}
+
+}  // namespace cosmos

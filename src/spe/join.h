@@ -1,0 +1,77 @@
+#ifndef COSMOS_SPE_JOIN_H_
+#define COSMOS_SPE_JOIN_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "spe/operator.h"
+#include "spe/window.h"
+
+namespace cosmos {
+
+// Symmetric time-window join of two streams (Lemma 1 of the paper): tuples
+// t1 (port 0, window T1) and t2 (port 1, window T2) join iff
+//   (1) the join predicates hold, and
+//   (2) -T1 <= t1.timestamp - t2.timestamp <= T2.
+// With per-port event-time-ordered arrival, a new t1 probes the port-1
+// buffer for t2.timestamp in [t1.timestamp - T2, t1.timestamp]; symmetric
+// for t2. Expired tuples are evicted lazily. [Now] windows (T = 0) match
+// only equal timestamps; unbounded windows never evict.
+//
+// Equi-keyed joins probe a hash index over the resident window (O(matches)
+// per arrival); key-less joins scan the window (temporal cross join).
+//
+// The output schema must be MakeJoinedSchema(left, la, right, ra, name);
+// output timestamp = max of the two input timestamps.
+class WindowJoinOperator final : public Operator {
+ public:
+  // `key_pairs` are (left attr index, right attr index) equi-join keys (may
+  // be empty: pure temporal cross join). `residual` is evaluated on the
+  // joined tuple (alias-qualified names), may be null.
+  WindowJoinOperator(Duration left_window, Duration right_window,
+                     std::vector<std::pair<size_t, size_t>> key_pairs,
+                     ExprPtr residual,
+                     std::shared_ptr<const Schema> output_schema);
+
+  void Push(size_t port, const Tuple& tuple) override;
+
+  size_t left_buffer_size() const { return left_.tuples.size(); }
+  size_t right_buffer_size() const { return right_.tuples.size(); }
+
+ private:
+  // A window of resident tuples with a hash index over the join key.
+  // Tuples are addressed by monotonically increasing sequence numbers so
+  // index entries survive front eviction (seq - base = deque position).
+  struct SideBuffer {
+    Duration window = kInfiniteDuration;
+    std::vector<size_t> key_attrs;
+    std::deque<Tuple> tuples;
+    uint64_t base = 0;
+    std::unordered_multimap<size_t, uint64_t> index;  // key hash -> seq
+
+    void Insert(const Tuple& t);
+    // Drops tuples with timestamp < now - window (and their index entries).
+    void Evict(Timestamp now);
+    size_t KeyHash(const Tuple& t) const;
+  };
+
+  bool KeysEqual(const Tuple& l, const Tuple& r) const;
+  void Probe(const Tuple& arriving, bool arriving_is_left);
+  void EmitJoined(const Tuple& l, const Tuple& r);
+  // Lemma-1 temporal test for a (left, right) pair.
+  bool TemporalOk(const Tuple& l, const Tuple& r) const;
+
+  Duration left_window_;
+  Duration right_window_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  LazyPredicate residual_;
+  std::shared_ptr<const Schema> output_schema_;
+
+  SideBuffer left_;
+  SideBuffer right_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SPE_JOIN_H_

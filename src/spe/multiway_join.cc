@@ -1,0 +1,122 @@
+#include "spe/multiway_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cosmos {
+
+std::shared_ptr<const Schema> MakeConcatenatedSchema(
+    const std::vector<std::pair<const Schema*, std::string>>& parts,
+    const std::string& name) {
+  std::vector<AttributeDef> attrs;
+  for (const auto& [schema, alias] : parts) {
+    for (const auto& a : schema->attributes()) {
+      AttributeDef def = a;
+      def.name = alias + "." + a.name;
+      attrs.push_back(std::move(def));
+    }
+  }
+  return std::make_shared<Schema>(name, std::move(attrs));
+}
+
+MultiWayJoinOperator::MultiWayJoinOperator(
+    std::vector<Duration> windows, std::vector<KeyConstraint> keys,
+    ExprPtr residual, std::shared_ptr<const Schema> output_schema)
+    : windows_(std::move(windows)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)),
+      output_schema_(std::move(output_schema)) {
+  COSMOS_CHECK(windows_.size() >= 2);
+  buffers_.reserve(windows_.size());
+  for (Duration w : windows_) buffers_.emplace_back(w);
+}
+
+bool MultiWayJoinOperator::KeysConsistent(
+    const std::vector<const Tuple*>& chosen, size_t just_bound) const {
+  for (const auto& k : keys_) {
+    // Only check constraints whose later-bound endpoint is `just_bound`
+    // and whose other endpoint is already chosen.
+    size_t other;
+    size_t this_attr;
+    size_t other_attr;
+    if (k.left_port == just_bound) {
+      other = k.right_port;
+      this_attr = k.left_attr;
+      other_attr = k.right_attr;
+    } else if (k.right_port == just_bound) {
+      other = k.left_port;
+      this_attr = k.right_attr;
+      other_attr = k.left_attr;
+    } else {
+      continue;
+    }
+    if (chosen[other] == nullptr) continue;  // checked when bound later
+    const Value& a = chosen[just_bound]->value(this_attr);
+    const Value& b = chosen[other]->value(other_attr);
+    auto cmp = a.Compare(b);
+    if (!cmp.ok() || *cmp != 0) return false;
+  }
+  return true;
+}
+
+void MultiWayJoinOperator::EmitCombination(
+    const std::vector<const Tuple*>& chosen) {
+  std::vector<Value> values;
+  Timestamp tau = kInvalidTimestamp;
+  size_t total = 0;
+  for (const Tuple* t : chosen) total += t->num_values();
+  values.reserve(total);
+  for (const Tuple* t : chosen) {
+    for (const auto& v : t->values()) values.push_back(v);
+    tau = std::max(tau, t->timestamp());
+  }
+  Tuple joined(output_schema_, std::move(values), tau);
+  if (!residual_.has_expr() || residual_.Matches(joined)) Emit(joined);
+}
+
+void MultiWayJoinOperator::Extend(size_t next_port, size_t arrival_port,
+                                  const Tuple& arrival,
+                                  std::vector<const Tuple*>& chosen) {
+  if (next_port == buffers_.size()) {
+    EmitCombination(chosen);
+    return;
+  }
+  if (next_port == arrival_port) {
+    chosen[next_port] = &arrival;
+    if (KeysConsistent(chosen, next_port)) {
+      Extend(next_port + 1, arrival_port, arrival, chosen);
+    }
+    chosen[next_port] = nullptr;
+    return;
+  }
+  const Duration window = windows_[next_port];
+  const Timestamp tau = arrival.timestamp();
+  for (const auto& resident : buffers_[next_port].contents()) {
+    // Condition (3) for this component: tau - ts <= T. Residents newer
+    // than tau cannot exist under event-time order, but guard anyway.
+    if (window != kInfiniteDuration) {
+      int64_t age = tau - resident.timestamp();
+      if (age > window || age < 0) continue;
+    }
+    chosen[next_port] = &resident;
+    if (KeysConsistent(chosen, next_port)) {
+      Extend(next_port + 1, arrival_port, arrival, chosen);
+    }
+  }
+  chosen[next_port] = nullptr;
+}
+
+void MultiWayJoinOperator::Push(size_t port, const Tuple& tuple) {
+  COSMOS_CHECK(port < buffers_.size());
+  const Timestamp now = tuple.timestamp();
+  // Evict every buffer against its own window at the arrival's event time.
+  for (size_t j = 0; j < buffers_.size(); ++j) {
+    buffers_[j].EvictExpired(now, nullptr);
+  }
+  std::vector<const Tuple*> chosen(buffers_.size(), nullptr);
+  Extend(0, port, tuple, chosen);
+  buffers_[port].Insert(tuple);
+}
+
+}  // namespace cosmos

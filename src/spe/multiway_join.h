@@ -1,0 +1,72 @@
+#ifndef COSMOS_SPE_MULTIWAY_JOIN_H_
+#define COSMOS_SPE_MULTIWAY_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "spe/operator.h"
+#include "spe/window.h"
+
+namespace cosmos {
+
+// N-input sliding-window join with CQL semantics (generalizing Lemma 1):
+// a combination (t_1, ..., t_n), one tuple per input, joins iff
+//   (1) every equi-key constraint holds,
+//   (2) the residual predicate holds on the concatenated tuple, and
+//   (3) for every input i:  tau - t_i.timestamp <= T_i,
+//       where tau = max_j t_j.timestamp — i.e. at the result's event time,
+//       every component is still inside its stream's window.
+//
+// With per-port event-time-ordered arrival, the arriving tuple always
+// carries tau, so each buffer j is evicted against tau - T_j and every
+// resident combination satisfies (3)'s bound for the arriving port
+// trivially. For n == 2 this reduces exactly to WindowJoinOperator's
+// Lemma 1 condition.
+class MultiWayJoinOperator final : public Operator {
+ public:
+  // An equi-join constraint between two ports' attributes (indexes into
+  // the respective input schemas).
+  struct KeyConstraint {
+    size_t left_port = 0;
+    size_t left_attr = 0;
+    size_t right_port = 0;
+    size_t right_attr = 0;
+  };
+
+  // `output_schema` must concatenate the input schemas in port order (see
+  // MakeConcatenatedSchema); `residual` may be null.
+  MultiWayJoinOperator(std::vector<Duration> windows,
+                       std::vector<KeyConstraint> keys, ExprPtr residual,
+                       std::shared_ptr<const Schema> output_schema);
+
+  void Push(size_t port, const Tuple& tuple) override;
+
+  size_t num_ports() const { return buffers_.size(); }
+  size_t buffer_size(size_t port) const { return buffers_[port].count(); }
+
+ private:
+  // Depth-first combination enumeration: `chosen[p]` fixed for assigned
+  // ports; extends port by port, checking key constraints as soon as both
+  // endpoints are bound.
+  void Extend(size_t next_port, size_t arrival_port, const Tuple& arrival,
+              std::vector<const Tuple*>& chosen);
+  bool KeysConsistent(const std::vector<const Tuple*>& chosen,
+                      size_t just_bound) const;
+  void EmitCombination(const std::vector<const Tuple*>& chosen);
+
+  std::vector<Duration> windows_;
+  std::vector<KeyConstraint> keys_;
+  LazyPredicate residual_;
+  std::shared_ptr<const Schema> output_schema_;
+  std::vector<WindowBuffer> buffers_;
+};
+
+// Concatenation of several schemas with alias-qualified attribute names,
+// in the given order (the N-way generalization of MakeJoinedSchema).
+std::shared_ptr<const Schema> MakeConcatenatedSchema(
+    const std::vector<std::pair<const Schema*, std::string>>& parts,
+    const std::string& name);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SPE_MULTIWAY_JOIN_H_

@@ -1,0 +1,54 @@
+#include "spe/operator.h"
+
+namespace cosmos {
+
+bool LazyPredicate::Matches(const Tuple& tuple) {
+  if (expr_ == nullptr) return true;
+  const Schema* key = tuple.schema().get();
+  auto it = bound_.find(key);
+  if (it == bound_.end()) {
+    auto bound = BoundPredicate::Bind(expr_, *tuple.schema());
+    std::shared_ptr<BoundPredicate> ptr;
+    if (bound.ok()) {
+      ptr = std::make_shared<BoundPredicate>(std::move(bound).value());
+    }
+    it = bound_.emplace(key, std::move(ptr)).first;
+  }
+  if (it->second == nullptr) return false;  // unbindable => no match
+  return it->second->Matches(tuple);
+}
+
+void SelectOperator::Push(size_t port, const Tuple& tuple) {
+  (void)port;
+  if (predicate_.Matches(tuple)) Emit(tuple);
+}
+
+void AdaptOperator::Push(size_t port, const Tuple& tuple) {
+  (void)port;
+  const Schema* key = tuple.schema().get();
+  auto it = mappings_.find(key);
+  if (it == mappings_.end()) {
+    std::vector<int> mapping;
+    mapping.reserve(target_->num_attributes());
+    for (const auto& attr : target_->attributes()) {
+      auto idx = tuple.schema()->IndexOf(attr.name);
+      mapping.push_back(idx.has_value() ? static_cast<int>(*idx) : -1);
+    }
+    it = mappings_.emplace(key, std::move(mapping)).first;
+  }
+  const std::vector<int>& mapping = it->second;
+  std::vector<Value> values;
+  values.reserve(mapping.size());
+  for (int idx : mapping) {
+    if (idx < 0) return;  // required attribute missing: drop
+    values.push_back(tuple.value(static_cast<size_t>(idx)));
+  }
+  Emit(Tuple(target_, std::move(values), tuple.timestamp()));
+}
+
+void ProjectOperator::Push(size_t port, const Tuple& tuple) {
+  (void)port;
+  Emit(tuple.Project(indices_, output_schema_));
+}
+
+}  // namespace cosmos

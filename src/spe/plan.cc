@@ -1,0 +1,225 @@
+#include "spe/plan.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "spe/aggregate.h"
+#include "spe/join.h"
+#include "spe/multiway_join.h"
+
+namespace cosmos {
+namespace {
+
+// The projected input schema of source `i`: the catalog schema narrowed to
+// the attributes the query references, in schema order. Named by the alias
+// so diagnostics read well.
+std::shared_ptr<const Schema> ExpectedInputSchema(const AnalyzedQuery& q,
+                                                  size_t i) {
+  const ResolvedSource& src = q.sources()[i];
+  std::vector<std::string> wanted = q.ReferencedAttributes(i);
+  std::vector<AttributeDef> attrs;
+  for (const auto& def : src.schema->attributes()) {
+    if (std::find(wanted.begin(), wanted.end(), def.name) != wanted.end()) {
+      attrs.push_back(def);
+    }
+  }
+  return std::make_shared<Schema>(src.from.stream, std::move(attrs));
+}
+
+}  // namespace
+
+void QueryPlan::SetSink(Operator::Sink sink) {
+  // Wrap to count output tuples.
+  terminal_->SetSink([this, sink = std::move(sink)](const Tuple& t) {
+    ++tuples_out_;
+    if (sink) sink(t);
+  });
+}
+
+void QueryPlan::Push(const std::string& stream, const Tuple& tuple) {
+  for (size_t i = 0; i < input_streams_.size(); ++i) {
+    if (input_streams_[i] == stream) {
+      ++tuples_in_;
+      entries_[i]->Push(0, tuple);
+    }
+  }
+}
+
+Result<std::unique_ptr<QueryPlan>> QueryPlan::Build(
+    const AnalyzedQuery& query) {
+  const size_t n = query.sources().size();
+  if (n == 0 || n > 8) {
+    return Status::Unimplemented(
+        StrFormat("plans support 1-8 sources, got %zu", n));
+  }
+  if (query.is_aggregate() && n != 1) {
+    return Status::Unimplemented(
+        "aggregates are supported over a single source");
+  }
+
+  auto plan = std::unique_ptr<QueryPlan>(new QueryPlan());
+  plan->output_schema_ = query.output_schema();
+
+  // Per-source: Adapt -> Select.
+  std::vector<Operator*> tails;
+  for (size_t i = 0; i < n; ++i) {
+    auto expected = ExpectedInputSchema(query, i);
+    plan->input_streams_.push_back(query.sources()[i].from.stream);
+    plan->input_schemas_.push_back(expected);
+
+    auto adapt = std::make_unique<AdaptOperator>(expected);
+    auto select =
+        std::make_unique<SelectOperator>(query.local_selection(i).ToExpr());
+    Operator* select_ptr = select.get();
+    adapt->SetSink([select_ptr](const Tuple& t) { select_ptr->Push(0, t); });
+
+    plan->entries_.push_back(adapt.get());
+    tails.push_back(select.get());
+    plan->owned_.push_back(std::move(adapt));
+    plan->owned_.push_back(std::move(select));
+  }
+
+  Operator* pre_output = nullptr;
+  std::shared_ptr<const Schema> pre_schema;
+
+  if (n == 2) {
+    const auto& s0 = query.sources()[0];
+    const auto& s1 = query.sources()[1];
+    // Map equi-join attributes into the expected (projected) schemas.
+    std::vector<std::pair<size_t, size_t>> keys;
+    for (const auto& j : query.equi_joins()) {
+      size_t ls = j.left_source;
+      const std::string& lname =
+          query.sources()[ls].schema->attribute(j.left_attr).name;
+      const std::string& rname = query.sources()[j.right_source]
+                                     .schema->attribute(j.right_attr)
+                                     .name;
+      const std::string& name0 = (ls == 0) ? lname : rname;
+      const std::string& name1 = (ls == 0) ? rname : lname;
+      auto i0 = plan->input_schemas_[0]->IndexOf(name0);
+      auto i1 = plan->input_schemas_[1]->IndexOf(name1);
+      if (!i0 || !i1) {
+        return Status::Internal("join key missing from projected schema");
+      }
+      keys.emplace_back(*i0, *i1);
+    }
+    ExprPtr residual;
+    for (const auto& r : query.cross_residual()) {
+      residual = ConjoinNullable(residual, r);
+    }
+    pre_schema = MakeJoinedSchema(
+        *plan->input_schemas_[0], s0.alias(), *plan->input_schemas_[1],
+        s1.alias(), query.output_schema()->stream_name() + "_joined");
+    auto join = std::make_unique<WindowJoinOperator>(
+        query.WindowSize(0), query.WindowSize(1), std::move(keys),
+        std::move(residual), pre_schema);
+    WindowJoinOperator* join_ptr = join.get();
+    tails[0]->SetSink([join_ptr](const Tuple& t) { join_ptr->Push(0, t); });
+    tails[1]->SetSink([join_ptr](const Tuple& t) { join_ptr->Push(1, t); });
+    pre_output = join.get();
+    plan->owned_.push_back(std::move(join));
+  } else if (n > 2) {
+    // N-way window join (CQL semantics; see spe/multiway_join.h).
+    std::vector<std::pair<const Schema*, std::string>> parts;
+    std::vector<Duration> windows;
+    for (size_t i = 0; i < n; ++i) {
+      parts.emplace_back(plan->input_schemas_[i].get(),
+                         query.sources()[i].alias());
+      windows.push_back(query.WindowSize(i));
+    }
+    pre_schema = MakeConcatenatedSchema(
+        parts, query.output_schema()->stream_name() + "_joined");
+    std::vector<MultiWayJoinOperator::KeyConstraint> keys;
+    for (const auto& j : query.equi_joins()) {
+      const std::string& lname =
+          query.sources()[j.left_source].schema->attribute(j.left_attr).name;
+      const std::string& rname = query.sources()[j.right_source]
+                                     .schema->attribute(j.right_attr)
+                                     .name;
+      auto li = plan->input_schemas_[j.left_source]->IndexOf(lname);
+      auto ri = plan->input_schemas_[j.right_source]->IndexOf(rname);
+      if (!li || !ri) {
+        return Status::Internal("join key missing from projected schema");
+      }
+      keys.push_back(MultiWayJoinOperator::KeyConstraint{
+          j.left_source, *li, j.right_source, *ri});
+    }
+    ExprPtr residual;
+    for (const auto& r : query.cross_residual()) {
+      residual = ConjoinNullable(residual, r);
+    }
+    auto join = std::make_unique<MultiWayJoinOperator>(
+        std::move(windows), std::move(keys), std::move(residual),
+        pre_schema);
+    MultiWayJoinOperator* join_ptr = join.get();
+    for (size_t i = 0; i < n; ++i) {
+      size_t port = i;
+      tails[i]->SetSink([join_ptr, port](const Tuple& t) {
+        join_ptr->Push(port, t);
+      });
+    }
+    pre_output = join.get();
+    plan->owned_.push_back(std::move(join));
+  } else {
+    pre_output = tails[0];
+    pre_schema = plan->input_schemas_[0];
+  }
+
+  if (query.is_aggregate()) {
+    std::vector<size_t> group_keys;
+    for (const auto& g : query.group_by()) {
+      const std::string& name =
+          query.sources()[g.source].schema->attribute(g.attr).name;
+      auto idx = pre_schema->IndexOf(name);
+      if (!idx) return Status::Internal("group key missing from input");
+      group_keys.push_back(*idx);
+    }
+    std::vector<AggSpec> aggs;
+    for (const auto& a : query.aggregates()) {
+      AggSpec spec;
+      spec.func = a.func;
+      spec.star = a.star;
+      if (!a.star) {
+        const std::string& name =
+            query.sources()[a.source].schema->attribute(a.attr).name;
+        auto idx = pre_schema->IndexOf(name);
+        if (!idx) return Status::Internal("agg arg missing from input");
+        spec.arg = *idx;
+      }
+      aggs.push_back(spec);
+    }
+    auto agg = std::make_unique<WindowAggregateOperator>(
+        query.WindowSize(0), std::move(group_keys), std::move(aggs),
+        query.output_schema());
+    WindowAggregateOperator* agg_ptr = agg.get();
+    pre_output->SetSink([agg_ptr](const Tuple& t) { agg_ptr->Push(0, t); });
+    plan->terminal_ = agg.get();
+    plan->owned_.push_back(std::move(agg));
+    return plan;
+  }
+
+  // Final projection onto the output schema.
+  std::vector<size_t> indices;
+  for (const auto& c : query.output_columns()) {
+    const std::string& bare =
+        query.sources()[c.source].schema->attribute(c.attr).name;
+    std::string lookup =
+        (n >= 2) ? query.sources()[c.source].alias() + "." + bare : bare;
+    auto idx = pre_schema->IndexOf(lookup);
+    if (!idx) {
+      return Status::Internal(
+          StrFormat("output column '%s' missing from input", lookup.c_str()));
+    }
+    indices.push_back(*idx);
+  }
+  auto project = std::make_unique<ProjectOperator>(std::move(indices),
+                                                   query.output_schema());
+  ProjectOperator* project_ptr = project.get();
+  pre_output->SetSink(
+      [project_ptr](const Tuple& t) { project_ptr->Push(0, t); });
+  plan->terminal_ = project.get();
+  plan->owned_.push_back(std::move(project));
+  return plan;
+}
+
+}  // namespace cosmos

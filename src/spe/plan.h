@@ -1,0 +1,72 @@
+#ifndef COSMOS_SPE_PLAN_H_
+#define COSMOS_SPE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/analyzer.h"
+#include "spe/operator.h"
+
+namespace cosmos {
+
+// An executable operator pipeline compiled from an AnalyzedQuery:
+//
+//   per source:  Adapt -> Select(local selection)
+//   then:        [WindowJoin]  (two sources)
+//                [WindowAggregate] (single source with aggregates)
+//   finally:     Project -> result stream
+//
+// Supported shapes: 1-2 sources, select-project(-join), single-source
+// grouped aggregation. These cover every query the paper's examples and
+// evaluation workloads use; anything else returns kUnimplemented.
+class QueryPlan {
+ public:
+  static Result<std::unique_ptr<QueryPlan>> Build(const AnalyzedQuery& query);
+
+  QueryPlan(const QueryPlan&) = delete;
+  QueryPlan& operator=(const QueryPlan&) = delete;
+
+  // The streams this plan consumes (parallel to sources()).
+  const std::vector<std::string>& input_streams() const {
+    return input_streams_;
+  }
+
+  // The exact (projected) schema the plan expects per input stream — also
+  // the projection set the processor's source profile should request.
+  const std::vector<std::shared_ptr<const Schema>>& input_schemas() const {
+    return input_schemas_;
+  }
+
+  const std::shared_ptr<const Schema>& output_schema() const {
+    return output_schema_;
+  }
+
+  // Result tuples of the plan are delivered here.
+  void SetSink(Operator::Sink sink);
+
+  // Pushes one source tuple; `stream` selects the input port. Tuples of
+  // streams the plan does not consume are ignored. A stream consumed twice
+  // (self-join) feeds every matching port.
+  void Push(const std::string& stream, const Tuple& tuple);
+
+  uint64_t tuples_in() const { return tuples_in_; }
+  uint64_t tuples_out() const { return tuples_out_; }
+
+ private:
+  QueryPlan() = default;
+
+  std::vector<std::unique_ptr<Operator>> owned_;
+  // Entry operator per source index.
+  std::vector<Operator*> entries_;
+  std::vector<std::string> input_streams_;
+  std::vector<std::shared_ptr<const Schema>> input_schemas_;
+  Operator* terminal_ = nullptr;
+  std::shared_ptr<const Schema> output_schema_;
+  uint64_t tuples_in_ = 0;
+  uint64_t tuples_out_ = 0;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SPE_PLAN_H_

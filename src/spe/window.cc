@@ -1,0 +1,18 @@
+#include "spe/window.h"
+
+namespace cosmos {
+
+size_t WindowBuffer::EvictExpired(Timestamp now, std::vector<Tuple>* evicted) {
+  if (size_ == kInfiniteDuration) return 0;
+  size_t n = 0;
+  // Window membership at time `now`: timestamp >= now - T.
+  const Timestamp cutoff = now - size_;
+  while (!tuples_.empty() && tuples_.front().timestamp() < cutoff) {
+    if (evicted != nullptr) evicted->push_back(std::move(tuples_.front()));
+    tuples_.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace cosmos

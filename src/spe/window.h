@@ -1,0 +1,38 @@
+#ifndef COSMOS_SPE_WINDOW_H_
+#define COSMOS_SPE_WINDOW_H_
+
+#include <deque>
+
+#include "common/time.h"
+#include "stream/tuple.h"
+
+namespace cosmos {
+
+// A time-based sliding window buffer w(T) (paper §4): holds the tuples with
+// timestamps in (now - T, now]. Insertion must be in non-decreasing
+// timestamp order.
+class WindowBuffer {
+ public:
+  explicit WindowBuffer(Duration size) : size_(size) {}
+
+  Duration size() const { return size_; }
+
+  void Insert(const Tuple& tuple) { tuples_.push_back(tuple); }
+
+  // Evicts tuples that fell out of the window as of time `now`: those with
+  // timestamp < now - T (unbounded windows never evict). Returns the number
+  // evicted; when `evicted` is non-null the victims are appended to it.
+  size_t EvictExpired(Timestamp now, std::vector<Tuple>* evicted = nullptr);
+
+  const std::deque<Tuple>& contents() const { return tuples_; }
+  bool empty() const { return tuples_.empty(); }
+  size_t count() const { return tuples_.size(); }
+
+ private:
+  Duration size_;
+  std::deque<Tuple> tuples_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SPE_WINDOW_H_

@@ -1,0 +1,30 @@
+#include "spe/wrapper.h"
+
+namespace cosmos {
+
+Status NativeSpeWrapper::InstallQuery(const std::string& query_id,
+                                      const std::string& cql,
+                                      const std::string& result_name,
+                                      ResultSink sink) {
+  COSMOS_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                          ParseAndAnalyze(cql, *catalog_, result_name));
+  return engine_.InstallQuery(query_id, analyzed, std::move(sink));
+}
+
+Status NativeSpeWrapper::RemoveQuery(const std::string& query_id) {
+  return engine_.RemoveQuery(query_id);
+}
+
+void NativeSpeWrapper::DeliverTuple(const std::string& stream,
+                                    const Tuple& tuple) {
+  engine_.PushSourceTuple(stream, tuple);
+}
+
+std::shared_ptr<const Schema> NativeSpeWrapper::ResultSchema(
+    const std::string& query_id) const {
+  const QueryPlan* p = engine_.plan(query_id);
+  if (p == nullptr) return nullptr;
+  return p->output_schema();
+}
+
+}  // namespace cosmos

@@ -1,0 +1,62 @@
+#ifndef COSMOS_SPE_WRAPPER_H_
+#define COSMOS_SPE_WRAPPER_H_
+
+#include <memory>
+#include <string>
+
+#include "spe/engine.h"
+#include "stream/catalog.h"
+
+namespace cosmos {
+
+// The pluggable-SPE boundary of the architecture (paper §2, Figure 2):
+// COSMOS processors talk to their local engine only through a query wrapper
+// (CQL text in) and a data wrapper (datagrams in, result tuples out), so
+// heterogeneous engines — TelegraphCQ, STREAM, Aurora, GSN in the paper —
+// can be plugged per processor. This repo ships the native wrapper around
+// SpeEngine; the interface is what a third-party wrapper would implement.
+class SpeWrapper {
+ public:
+  virtual ~SpeWrapper() = default;
+
+  // Translates and installs a CQL query; results (tagged with `query_id`)
+  // flow to `sink`. The result stream is named `result_name`.
+  virtual Status InstallQuery(const std::string& query_id,
+                              const std::string& cql,
+                              const std::string& result_name,
+                              ResultSink sink) = 0;
+
+  virtual Status RemoveQuery(const std::string& query_id) = 0;
+
+  // Data wrapper direction: a tuple of `stream` arriving from the CBN.
+  virtual void DeliverTuple(const std::string& stream, const Tuple& tuple) = 0;
+
+  // Schema of an installed query's result stream (null when unknown).
+  virtual std::shared_ptr<const Schema> ResultSchema(
+      const std::string& query_id) const = 0;
+};
+
+// Native wrapper: parses CQL against `catalog` and runs it on an embedded
+// SpeEngine.
+class NativeSpeWrapper : public SpeWrapper {
+ public:
+  explicit NativeSpeWrapper(const Catalog* catalog) : catalog_(catalog) {}
+
+  Status InstallQuery(const std::string& query_id, const std::string& cql,
+                      const std::string& result_name,
+                      ResultSink sink) override;
+  Status RemoveQuery(const std::string& query_id) override;
+  void DeliverTuple(const std::string& stream, const Tuple& tuple) override;
+  std::shared_ptr<const Schema> ResultSchema(
+      const std::string& query_id) const override;
+
+  const SpeEngine& engine() const { return engine_; }
+
+ private:
+  const Catalog* catalog_;
+  SpeEngine engine_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_SPE_WRAPPER_H_

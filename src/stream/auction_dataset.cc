@@ -1,0 +1,113 @@
+#include "stream/auction_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cosmos {
+
+AuctionDataset::AuctionDataset(AuctionDatasetOptions options)
+    : options_(options) {
+  COSMOS_CHECK(options_.num_auctions > 0);
+  COSMOS_CHECK(options_.min_duration <= options_.max_duration);
+}
+
+std::shared_ptr<const Schema> AuctionDataset::OpenAuctionSchema() {
+  std::vector<AttributeDef> attrs = {
+      {"itemID", ValueType::kInt64, 0, 1e9},
+      {"sellerID", ValueType::kInt64, 0, 1e6},
+      {"start_price", ValueType::kDouble, 0.0, 1000.0},
+      {"timestamp", ValueType::kInt64},
+  };
+  return std::make_shared<Schema>("OpenAuction", std::move(attrs));
+}
+
+std::shared_ptr<const Schema> AuctionDataset::ClosedAuctionSchema() {
+  std::vector<AttributeDef> attrs = {
+      {"itemID", ValueType::kInt64, 0, 1e9},
+      {"buyerID", ValueType::kInt64, 0, 1e6},
+      {"timestamp", ValueType::kInt64},
+  };
+  return std::make_shared<Schema>("ClosedAuction", std::move(attrs));
+}
+
+Status AuctionDataset::RegisterAll(Catalog& catalog) const {
+  double rate = static_cast<double>(kSecond) /
+                static_cast<double>(options_.mean_interarrival);
+  COSMOS_RETURN_IF_ERROR(catalog.RegisterStream(OpenAuctionSchema(), rate));
+  COSMOS_RETURN_IF_ERROR(catalog.RegisterStream(
+      ClosedAuctionSchema(), rate * options_.close_fraction));
+  return Status::OK();
+}
+
+void AuctionDataset::Build() const {
+  if (built_) return;
+  built_ = true;
+
+  auto open_schema = OpenAuctionSchema();
+  auto closed_schema = ClosedAuctionSchema();
+  Rng rng(options_.seed);
+
+  struct CloseEvent {
+    Timestamp ts;
+    int64_t item;
+    int64_t buyer;
+  };
+  std::vector<CloseEvent> closes;
+
+  Timestamp now = 0;
+  for (int i = 0; i < options_.num_auctions; ++i) {
+    // Exponential interarrival for Poisson-like openings.
+    double u = std::max(rng.NextDouble(), 1e-12);
+    now += static_cast<Duration>(
+        -std::log(u) * static_cast<double>(options_.mean_interarrival));
+    int64_t item = i;
+    int64_t seller = rng.NextInt(0, options_.num_sellers - 1);
+    double price = rng.NextDouble(1.0, 1000.0);
+    open_tuples_.emplace_back(
+        open_schema,
+        std::vector<Value>{Value(item), Value(seller), Value(price),
+                           Value(static_cast<int64_t>(now))},
+        now);
+    if (rng.NextBool(options_.close_fraction)) {
+      Duration d = rng.NextInt(options_.min_duration, options_.max_duration);
+      closes.push_back(
+          {now + d, item, rng.NextInt(0, options_.num_buyers - 1)});
+    }
+  }
+
+  std::sort(closes.begin(), closes.end(),
+            [](const CloseEvent& a, const CloseEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              return a.item < b.item;
+            });
+  closed_tuples_.reserve(closes.size());
+  for (const auto& c : closes) {
+    closed_tuples_.emplace_back(
+        closed_schema,
+        std::vector<Value>{Value(c.item), Value(c.buyer),
+                           Value(static_cast<int64_t>(c.ts))},
+        c.ts);
+  }
+}
+
+std::unique_ptr<StreamGenerator> AuctionDataset::MakeOpenGenerator() const {
+  Build();
+  return std::make_unique<VectorGenerator>(OpenAuctionSchema(), open_tuples_);
+}
+
+std::unique_ptr<StreamGenerator> AuctionDataset::MakeClosedGenerator() const {
+  Build();
+  return std::make_unique<VectorGenerator>(ClosedAuctionSchema(),
+                                           closed_tuples_);
+}
+
+std::unique_ptr<ReplayMerger> AuctionDataset::MakeReplay() const {
+  std::vector<std::unique_ptr<StreamGenerator>> gens;
+  gens.push_back(MakeOpenGenerator());
+  gens.push_back(MakeClosedGenerator());
+  return std::make_unique<ReplayMerger>(std::move(gens));
+}
+
+}  // namespace cosmos

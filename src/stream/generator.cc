@@ -1,0 +1,50 @@
+#include "stream/generator.h"
+
+#include "common/logging.h"
+
+namespace cosmos {
+
+VectorGenerator::VectorGenerator(std::shared_ptr<const Schema> schema,
+                                 std::vector<Tuple> tuples)
+    : schema_(std::move(schema)), tuples_(std::move(tuples)) {
+  for (size_t i = 1; i < tuples_.size(); ++i) {
+    COSMOS_CHECK(tuples_[i - 1].timestamp() <= tuples_[i].timestamp());
+  }
+}
+
+std::optional<Tuple> VectorGenerator::Next() {
+  if (pos_ >= tuples_.size()) return std::nullopt;
+  return tuples_[pos_++];
+}
+
+ReplayMerger::ReplayMerger(
+    std::vector<std::unique_ptr<StreamGenerator>> sources)
+    : sources_(std::move(sources)) {
+  heads_.resize(sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) Refill(i);
+}
+
+void ReplayMerger::Refill(size_t i) { heads_[i] = sources_[i]->Next(); }
+
+std::optional<Tuple> ReplayMerger::Next() {
+  int best = -1;
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (!heads_[i].has_value()) continue;
+    if (best < 0 ||
+        heads_[i]->timestamp() < heads_[best]->timestamp()) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return std::nullopt;
+  Tuple out = std::move(*heads_[best]);
+  Refill(static_cast<size_t>(best));
+  return out;
+}
+
+std::vector<Tuple> DrainGenerator(StreamGenerator& gen) {
+  std::vector<Tuple> out;
+  while (auto t = gen.Next()) out.push_back(std::move(*t));
+  return out;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,71 @@
+#ifndef COSMOS_STREAM_GENERATOR_H_
+#define COSMOS_STREAM_GENERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace cosmos {
+
+// Produces the tuples of one stream in non-decreasing timestamp order.
+// Datasets (sensor, auction) implement this; the replay machinery and the
+// SPE engine consume it.
+class StreamGenerator {
+ public:
+  virtual ~StreamGenerator() = default;
+
+  virtual std::shared_ptr<const Schema> schema() const = 0;
+
+  // Next tuple, or nullopt when the stream is exhausted.
+  virtual std::optional<Tuple> Next() = 0;
+};
+
+// A generator over a pre-materialized tuple vector (must be timestamp
+// sorted). Used by datasets that build their history up front and by tests.
+class VectorGenerator : public StreamGenerator {
+ public:
+  VectorGenerator(std::shared_ptr<const Schema> schema,
+                  std::vector<Tuple> tuples);
+
+  std::shared_ptr<const Schema> schema() const override { return schema_; }
+  std::optional<Tuple> Next() override;
+
+  size_t remaining() const { return tuples_.size() - pos_; }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+// Merges several generators into one globally timestamp-ordered feed,
+// emulating the paper's replay of the SensorScope dataset "by using their
+// timestamp information". Ties are broken by generator index so replays are
+// deterministic.
+class ReplayMerger {
+ public:
+  explicit ReplayMerger(std::vector<std::unique_ptr<StreamGenerator>> sources);
+
+  // Next tuple across all sources, or nullopt when all are exhausted.
+  std::optional<Tuple> Next();
+
+ private:
+  struct Head {
+    std::optional<Tuple> tuple;
+    size_t source;
+  };
+
+  void Refill(size_t i);
+
+  std::vector<std::unique_ptr<StreamGenerator>> sources_;
+  std::vector<std::optional<Tuple>> heads_;
+};
+
+// Drains `gen` fully into a vector.
+std::vector<Tuple> DrainGenerator(StreamGenerator& gen);
+
+}  // namespace cosmos
+
+#endif  // COSMOS_STREAM_GENERATOR_H_

@@ -1,0 +1,65 @@
+#ifndef COSMOS_STREAM_SENSOR_DATASET_H_
+#define COSMOS_STREAM_SENSOR_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "stream/catalog.h"
+#include "stream/generator.h"
+
+namespace cosmos {
+
+// Synthetic stand-in for the SensorScope environmental dataset used in the
+// paper's experiments (63 stations measuring air temperature, humidity,
+// etc.). Each station publishes one stream "sensor_<k>" whose schema lists
+// the environmental measurements plus a station id and the application
+// timestamp. Values follow bounded random walks so consecutive readings are
+// correlated, as with real weather data. Everything is seeded and
+// deterministic.
+struct SensorDatasetOptions {
+  int num_stations = 63;             // as in the paper
+  Duration sampling_period = 30 * kSecond;
+  Duration duration = 2 * kHour;     // history length per station
+  uint64_t seed = 42;
+  // Per-station phase offset so stations do not tick in lockstep.
+  bool stagger_stations = true;
+};
+
+class SensorDataset {
+ public:
+  explicit SensorDataset(SensorDatasetOptions options = {});
+
+  int num_stations() const { return options_.num_stations; }
+
+  // Stream name of station k ("sensor_00" ... style).
+  static std::string StreamName(int station);
+
+  // The measurement schema of station `k` (all stations share the same
+  // attribute list; ranges drive selectivity estimation).
+  std::shared_ptr<const Schema> SchemaOf(int station) const;
+
+  // Registers all station streams into `catalog` with their true rates.
+  Status RegisterAll(Catalog& catalog) const;
+
+  // Generator replaying station `k`'s history.
+  std::unique_ptr<StreamGenerator> MakeGenerator(int station) const;
+
+  // All stations merged into one timestamp-ordered replay feed.
+  std::unique_ptr<ReplayMerger> MakeReplay() const;
+
+  // Arrival rate in tuples/sec implied by the sampling period.
+  double RatePerStation() const;
+
+  // Names of the numeric measurement attributes usable in random predicates
+  // (excludes station_id and timestamp).
+  static std::vector<std::string> MeasurementAttributes();
+
+ private:
+  SensorDatasetOptions options_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_STREAM_SENSOR_DATASET_H_

@@ -1,0 +1,152 @@
+#include "stream/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cosmos {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (repr_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt64() const {
+  COSMOS_CHECK(type() == ValueType::kInt64);
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  COSMOS_CHECK(type() == ValueType::kDouble);
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  COSMOS_CHECK(type() == ValueType::kString);
+  return std::get<std::string>(repr_);
+}
+
+bool Value::AsBool() const {
+  COSMOS_CHECK(type() == ValueType::kBool);
+  return std::get<bool>(repr_);
+}
+
+double Value::NumericValue() const {
+  if (type() == ValueType::kInt64) return static_cast<double>(AsInt64());
+  return AsDouble();
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    return Status::InvalidArgument("cannot compare null values");
+  }
+  if (is_numeric() && other.is_numeric()) {
+    double x = NumericValue();
+    double y = other.NumericValue();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a != b) {
+    return Status::InvalidArgument(
+        StrFormat("cannot compare %s with %s", ValueTypeToString(a),
+                  ValueTypeToString(b)));
+  }
+  if (a == ValueType::kString) {
+    int c = AsString().compare(other.AsString());
+    return (c < 0) ? -1 : (c > 0 ? 1 : 0);
+  }
+  // bool
+  int x = AsBool() ? 1 : 0;
+  int y = other.AsBool() ? 1 : 0;
+  return x - y;
+}
+
+size_t Value::SerializedSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 4 + AsString().size();  // length prefix + payload
+    case ValueType::kBool:
+      return 1;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::string s = StrFormat("%.6g", AsDouble());
+      return s;
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9;
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(AsInt64());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles like their int64 counterparts so mixed-type
+      // group keys collide as the comparison semantics suggest.
+      if (d == std::floor(d) && std::abs(d) < 1e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+    case ValueType::kBool:
+      return std::hash<bool>{}(AsBool());
+  }
+  return 0;
+}
+
+}  // namespace cosmos

@@ -1,0 +1,73 @@
+#ifndef COSMOS_STREAM_VALUE_H_
+#define COSMOS_STREAM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cosmos {
+
+// Attribute types supported by COSMOS datagrams and tuples.
+enum class ValueType { kNull = 0, kInt64, kDouble, kString, kBool };
+
+const char* ValueTypeToString(ValueType type);
+
+// A dynamically-typed attribute value. Values are small and copyable; the
+// string alternative owns its storage.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(const char* v) : repr_(std::string(v)) {}
+  explicit Value(bool v) : repr_(v) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt64 || t == ValueType::kDouble;
+  }
+
+  // Typed accessors; calling the wrong one aborts (programming error).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  bool AsBool() const;
+
+  // Numeric value widened to double (int64 or double); aborts otherwise.
+  double NumericValue() const;
+
+  // Three-way comparison following SQL-ish semantics restricted to
+  // comparable types: numerics compare numerically (int64 vs double OK),
+  // strings lexicographically, bools false<true. Returns an error Status if
+  // the types are incomparable or either side is null.
+  Result<int> Compare(const Value& other) const;
+
+  // Strict equality of type and payload (null == null here; used by
+  // containers/tests, not by predicate evaluation).
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Approximate serialized size in bytes; used by the communication cost
+  // model (fixed 8 bytes for numerics, length for strings, 1 for bool).
+  size_t SerializedSize() const;
+
+  std::string ToString() const;
+
+  // Stable hash for grouping keys.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> repr_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_STREAM_VALUE_H_

@@ -1,0 +1,89 @@
+#include "stream/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos {
+namespace {
+
+std::shared_ptr<const Schema> MakeSchema(const std::string& name) {
+  return std::make_shared<Schema>(
+      name, std::vector<AttributeDef>{{"x", ValueType::kInt64}});
+}
+
+TEST(Catalog, RegisterAndLookup) {
+  Catalog c;
+  ASSERT_TRUE(c.RegisterStream(MakeSchema("S"), 5.0, 3).ok());
+  EXPECT_TRUE(c.HasStream("S"));
+  auto info = c.Lookup("S");
+  ASSERT_TRUE(info.ok());
+  EXPECT_DOUBLE_EQ(info->rate_tuples_per_sec, 5.0);
+  EXPECT_EQ(info->publisher_node, 3);
+  EXPECT_EQ(c.num_streams(), 1u);
+}
+
+TEST(Catalog, DuplicateRegistrationFails) {
+  Catalog c;
+  ASSERT_TRUE(c.RegisterStream(MakeSchema("S")).ok());
+  Status s = c.RegisterStream(MakeSchema("S"));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Catalog, NullSchemaRejected) {
+  Catalog c;
+  EXPECT_EQ(c.RegisterStream(nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Catalog, LookupMissingFails) {
+  Catalog c;
+  EXPECT_EQ(c.Lookup("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(c.LookupSchema("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, UpdateRate) {
+  Catalog c;
+  ASSERT_TRUE(c.RegisterStream(MakeSchema("S"), 1.0).ok());
+  ASSERT_TRUE(c.UpdateRate("S", 9.0).ok());
+  EXPECT_DOUBLE_EQ(c.Lookup("S")->rate_tuples_per_sec, 9.0);
+  EXPECT_EQ(c.UpdateRate("T", 1.0).code(), StatusCode::kNotFound);
+}
+
+TEST(Catalog, StreamNamesSorted) {
+  Catalog c;
+  (void)c.RegisterStream(MakeSchema("b"));
+  (void)c.RegisterStream(MakeSchema("a"));
+  auto names = c.StreamNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map ordering
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(Catalog, FloodedModeLookupIsFree) {
+  Catalog c(DirectoryMode::kFlooded, 10);
+  (void)c.RegisterStream(MakeSchema("S"));
+  for (int n = 0; n < 10; ++n) {
+    EXPECT_EQ(c.LookupHops("S", n), 0);
+  }
+}
+
+TEST(Catalog, DhtModeChargesOneHopExceptAtHome) {
+  Catalog c(DirectoryMode::kDht, 10);
+  (void)c.RegisterStream(MakeSchema("S"));
+  int home = c.ResponsibleNode("S");
+  ASSERT_GE(home, 0);
+  ASSERT_LT(home, 10);
+  EXPECT_EQ(c.LookupHops("S", home), 0);
+  EXPECT_EQ(c.LookupHops("S", (home + 1) % 10), 1);
+}
+
+TEST(Catalog, DhtSpreadsResponsibility) {
+  Catalog c(DirectoryMode::kDht, 16);
+  std::set<int> homes;
+  for (int i = 0; i < 50; ++i) {
+    homes.insert(c.ResponsibleNode("stream_" + std::to_string(i)));
+  }
+  // 50 names over 16 nodes should hit a decent spread.
+  EXPECT_GT(homes.size(), 8u);
+}
+
+}  // namespace
+}  // namespace cosmos

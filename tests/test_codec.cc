@@ -1,0 +1,120 @@
+#include "cbn/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+TEST(Codec, PrimitivesRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutU16(0x1234);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutI64(-42);
+  enc.PutF64(3.14159);
+  enc.PutString("hello");
+  auto bytes = enc.Take();
+
+  Decoder dec(bytes);
+  EXPECT_EQ(*dec.GetU8(), 0xAB);
+  EXPECT_EQ(*dec.GetU16(), 0x1234);
+  EXPECT_EQ(*dec.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*dec.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*dec.GetF64(), 3.14159);
+  EXPECT_EQ(*dec.GetString(), "hello");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(Codec, DecodePastEndFails) {
+  std::vector<uint8_t> bytes = {1, 2};
+  Decoder dec(bytes);
+  EXPECT_TRUE(dec.GetU16().ok());
+  EXPECT_EQ(dec.GetU8().status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(dec.GetI64().ok());
+}
+
+TEST(Codec, ExtremeValues) {
+  Encoder enc;
+  enc.PutI64(std::numeric_limits<int64_t>::min());
+  enc.PutI64(std::numeric_limits<int64_t>::max());
+  enc.PutF64(-0.0);
+  enc.PutF64(std::numeric_limits<double>::infinity());
+  enc.PutString("");
+  auto bytes = enc.Take();
+  Decoder dec(bytes);
+  EXPECT_EQ(*dec.GetI64(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(*dec.GetI64(), std::numeric_limits<int64_t>::max());
+  EXPECT_DOUBLE_EQ(*dec.GetF64(), -0.0);
+  EXPECT_DOUBLE_EQ(*dec.GetF64(),
+                   std::numeric_limits<double>::infinity());
+  EXPECT_EQ(*dec.GetString(), "");
+}
+
+Datagram SampleDatagram() {
+  auto schema = std::make_shared<Schema>(
+      "stream_x", std::vector<AttributeDef>{
+                      {"i", ValueType::kInt64},
+                      {"d", ValueType::kDouble},
+                      {"s", ValueType::kString},
+                      {"b", ValueType::kBool},
+                      {"n", ValueType::kNull},
+                  });
+  return Datagram{"stream_x",
+                  Tuple(schema,
+                        {Value(int64_t{-7}), Value(2.5), Value("payload"),
+                         Value(true), Value()},
+                        123456789)};
+}
+
+TEST(Codec, DatagramRoundTrip) {
+  Datagram original = SampleDatagram();
+  auto bytes = EncodeDatagram(original);
+  auto decoded = DecodeDatagram(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stream, "stream_x");
+  EXPECT_EQ(decoded->tuple.timestamp(), 123456789);
+  ASSERT_EQ(decoded->tuple.num_values(), 5u);
+  EXPECT_EQ(decoded->tuple.GetAttribute("i")->AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(decoded->tuple.GetAttribute("d")->AsDouble(), 2.5);
+  EXPECT_EQ(decoded->tuple.GetAttribute("s")->AsString(), "payload");
+  EXPECT_TRUE(decoded->tuple.GetAttribute("b")->AsBool());
+  EXPECT_TRUE(decoded->tuple.GetAttribute("n")->is_null());
+}
+
+TEST(Codec, TruncatedDatagramFails) {
+  auto bytes = EncodeDatagram(SampleDatagram());
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{3}}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeDatagram(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(Codec, TrailingBytesFail) {
+  auto bytes = EncodeDatagram(SampleDatagram());
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeDatagram(bytes).ok());
+}
+
+TEST(Codec, SensorTuplesRoundTripExactly) {
+  SensorDatasetOptions opts;
+  opts.duration = 5 * kMinute;
+  SensorDataset sensors(opts);
+  auto gen = sensors.MakeGenerator(7);
+  int n = 0;
+  while (auto t = gen->Next()) {
+    Datagram d{"sensor_07", *t};
+    auto decoded = DecodeDatagram(EncodeDatagram(d));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->tuple.values(), t->values());
+    EXPECT_EQ(decoded->tuple.timestamp(), t->timestamp());
+    ++n;
+  }
+  EXPECT_GT(n, 0);
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,246 @@
+#include "expr/conjunct.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "query/parser.h"
+
+namespace cosmos {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{
+               {"a", ValueType::kDouble, 0, 100},
+               {"b", ValueType::kDouble, 0, 10},
+               {"tag", ValueType::kString},
+           });
+}
+
+Tuple MakeTuple(double a, double b, const std::string& tag) {
+  return Tuple(TestSchema(), {Value(a), Value(b), Value(tag)}, 0);
+}
+
+ConjunctiveClause Parse(const std::string& text) {
+  auto expr = ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto clause = ClauseFromExpr(*expr);
+  EXPECT_TRUE(clause.ok()) << clause.status().ToString();
+  return *clause;
+}
+
+TEST(Conjunct, RangeAtomsCollapseToInterval) {
+  ConjunctiveClause c = Parse("a >= 10 AND a <= 20 AND a < 30");
+  AttrConstraint ac = c.ConstraintFor("a");
+  EXPECT_EQ(ac.interval, Interval(10, false, 20, false));
+  EXPECT_FALSE(c.has_residual());
+}
+
+TEST(Conjunct, FlippedOperandOrder) {
+  ConjunctiveClause c = Parse("10 <= a AND 20 >= a");
+  EXPECT_EQ(c.ConstraintFor("a").interval, Interval(10, false, 20, false));
+}
+
+TEST(Conjunct, NumericEqualityBecomesPoint) {
+  ConjunctiveClause c = Parse("a = 5");
+  EXPECT_TRUE(c.ConstraintFor("a").interval.IsPoint());
+}
+
+TEST(Conjunct, ContradictionIsUnsatisfiable) {
+  ConjunctiveClause c = Parse("a > 10 AND a < 5");
+  EXPECT_TRUE(c.IsUnsatisfiable());
+}
+
+TEST(Conjunct, StringEqualityAndDisequality) {
+  ConjunctiveClause c = Parse("tag = 'x' AND tag != 'y'");
+  AttrConstraint ac = c.ConstraintFor("tag");
+  ASSERT_TRUE(ac.eq.has_value());
+  EXPECT_EQ(ac.eq->AsString(), "x");
+  ASSERT_EQ(ac.neq.size(), 1u);
+  EXPECT_EQ(ac.neq[0].AsString(), "y");
+  EXPECT_FALSE(c.IsUnsatisfiable());
+}
+
+TEST(Conjunct, ConflictingStringEqualitiesUnsatisfiable) {
+  ConjunctiveClause c = Parse("tag = 'x' AND tag = 'y'");
+  EXPECT_TRUE(c.IsUnsatisfiable());
+}
+
+TEST(Conjunct, EqAndNeqSameValueUnsatisfiable) {
+  ConjunctiveClause c = Parse("tag = 'x' AND tag != 'x'");
+  EXPECT_TRUE(c.IsUnsatisfiable());
+}
+
+TEST(Conjunct, NumericDisequalityGoesResidual) {
+  ConjunctiveClause c = Parse("a != 5");
+  EXPECT_TRUE(c.has_residual());
+  EXPECT_TRUE(c.MatchesCanonical(MakeTuple(5, 0, "")));  // canonical ignores
+}
+
+TEST(Conjunct, NonCanonicalAtomGoesResidual) {
+  ConjunctiveClause c = Parse("a > b");
+  EXPECT_TRUE(c.has_residual());
+  EXPECT_TRUE(c.constraints().empty());
+}
+
+TEST(Conjunct, MatchesCanonicalChecksAllConstraints) {
+  ConjunctiveClause c = Parse("a >= 10 AND a <= 20 AND b < 5");
+  EXPECT_TRUE(c.MatchesCanonical(MakeTuple(15, 3, "")));
+  EXPECT_FALSE(c.MatchesCanonical(MakeTuple(25, 3, "")));
+  EXPECT_FALSE(c.MatchesCanonical(MakeTuple(15, 7, "")));
+}
+
+TEST(Conjunct, MatchesCanonicalMissingAttributeFails) {
+  ConjunctiveClause c = Parse("missing > 1");
+  EXPECT_FALSE(c.MatchesCanonical(MakeTuple(1, 1, "")));
+}
+
+TEST(Conjunct, TautologyMatchesEverything) {
+  ConjunctiveClause c;
+  EXPECT_TRUE(c.IsTautology());
+  EXPECT_TRUE(c.MatchesCanonical(MakeTuple(1, 2, "z")));
+  EXPECT_EQ(c.ToExpr(), nullptr);
+  EXPECT_EQ(c.ToString(), "TRUE");
+}
+
+TEST(Conjunct, ToExprRoundTrip) {
+  ConjunctiveClause c = Parse("a >= 10 AND a < 20 AND tag = 'x'");
+  ExprPtr rebuilt = c.ToExpr();
+  ASSERT_NE(rebuilt, nullptr);
+  auto c2 = ClauseFromExpr(rebuilt);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c, *c2);
+}
+
+TEST(Conjunct, SelectivityUsesDeclaredRanges) {
+  auto schema = TestSchema();
+  ConjunctiveClause c = Parse("a >= 0 AND a <= 50");  // half of [0,100]
+  EXPECT_NEAR(c.EstimateSelectivity(*schema), 0.5, 1e-9);
+  ConjunctiveClause both = Parse("a >= 0 AND a <= 50 AND b >= 0 AND b <= 5");
+  EXPECT_NEAR(both.EstimateSelectivity(*schema), 0.25, 1e-9);
+}
+
+TEST(Conjunct, SelectivityOfEqualityOnString) {
+  auto schema = TestSchema();
+  ConjunctiveClause c = Parse("tag = 'x'");
+  EXPECT_NEAR(c.EstimateSelectivity(*schema, 0.1), 0.1, 1e-9);
+}
+
+TEST(Conjunct, SelectivityChargesResiduals) {
+  auto schema = TestSchema();
+  ConjunctiveClause c = Parse("a > b");
+  EXPECT_NEAR(c.EstimateSelectivity(*schema, 0.1, 0.5), 0.5, 1e-9);
+}
+
+TEST(Dnf, PlainConjunctionYieldsOneClause) {
+  auto expr = ParseExpression("a > 1 AND b < 2");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 1u);
+}
+
+TEST(Dnf, DisjunctionSplits) {
+  auto expr = ParseExpression("a > 1 OR b < 2");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 2u);
+}
+
+TEST(Dnf, DistributesAndOverOr) {
+  auto expr = ParseExpression("(a > 1 OR a < 0) AND (b > 1 OR b < 0)");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 4u);
+}
+
+TEST(Dnf, DropsUnsatisfiableClauses) {
+  auto expr = ParseExpression("(a > 5 AND a < 1) OR b > 2");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 1u);
+}
+
+TEST(Dnf, NotOverAtomIsPushedIn) {
+  auto expr = ParseExpression("NOT a > 5");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].ConstraintFor("a").interval, Interval::AtMost(5.0));
+}
+
+TEST(Dnf, NotOverConjunctionDeMorgans) {
+  auto expr = ParseExpression("NOT (a > 5 AND b < 2)");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok()) << dnf.status().ToString();
+  // ¬(a>5 ∧ b<2) = a<=5 ∨ b>=2.
+  ASSERT_EQ(dnf->size(), 2u);
+  EXPECT_EQ((*dnf)[0].ConstraintFor("a").interval, Interval::AtMost(5.0));
+  EXPECT_EQ((*dnf)[1].ConstraintFor("b").interval, Interval::AtLeast(2.0));
+}
+
+TEST(Dnf, NotOverDisjunctionDeMorgans) {
+  auto expr = ParseExpression("NOT (a > 5 OR b < 2)");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  // ¬(a>5 ∨ b<2) = a<=5 ∧ b>=2: one clause, two constraints.
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].ConstraintFor("a").interval, Interval::AtMost(5.0));
+  EXPECT_EQ((*dnf)[0].ConstraintFor("b").interval, Interval::AtLeast(2.0));
+}
+
+TEST(Dnf, DoubleNegationCancels) {
+  auto expr = ParseExpression("NOT NOT a > 5");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].ConstraintFor("a").interval,
+            Interval::AtLeast(5.0, /*open=*/true));
+}
+
+TEST(Dnf, DeMorganSamplingAgreement) {
+  auto expr = ParseExpression(
+      "NOT ((a >= 10 AND a <= 30) OR (b >= 2 AND b <= 4))");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  for (double a = 0; a <= 40; a += 5) {
+    for (double b = 0; b <= 6; b += 1) {
+      Tuple t = MakeTuple(a, b, "");
+      bool via_dnf = false;
+      for (const auto& clause : *dnf) {
+        if (clause.MatchesCanonical(t)) via_dnf = true;
+      }
+      auto direct = EvalPredicate(*expr, t);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_EQ(via_dnf, *direct) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Dnf, NullExprIsTautology) {
+  auto dnf = ToDnf(nullptr);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_TRUE((*dnf)[0].IsTautology());
+}
+
+TEST(Dnf, SamplingAgreementWithEval) {
+  auto expr = ParseExpression(
+      "(a >= 10 AND a <= 30) OR (b >= 2 AND b <= 4 AND a < 50)");
+  auto dnf = ToDnf(*expr);
+  ASSERT_TRUE(dnf.ok());
+  for (double a = 0; a <= 60; a += 5) {
+    for (double b = 0; b <= 6; b += 1) {
+      Tuple t = MakeTuple(a, b, "");
+      bool via_dnf = false;
+      for (const auto& clause : *dnf) {
+        if (clause.MatchesCanonical(t)) via_dnf = true;
+      }
+      auto direct = EvalPredicate(*expr, t);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_EQ(via_dnf, *direct) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cosmos

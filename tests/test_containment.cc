@@ -1,0 +1,216 @@
+#include "core/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/auction_dataset.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AuctionDataset auctions;
+    ASSERT_TRUE(auctions.RegisterAll(catalog_).ok());
+    SensorDataset sensors;
+    ASSERT_TRUE(sensors.RegisterAll(catalog_).ok());
+  }
+
+  AnalyzedQuery Q(const std::string& cql) {
+    auto q = ParseAndAnalyze(cql, catalog_, "r");
+    EXPECT_TRUE(q.ok()) << cql << ": " << q.status().ToString();
+    return *q;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ContainmentTest, Table1Q3ContainsQ1AndQ2) {
+  // The paper's running example.
+  AnalyzedQuery q1 = Q(
+      "SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID");
+  AnalyzedQuery q2 = Q(
+      "SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp "
+      "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID");
+  AnalyzedQuery q3 = Q(
+      "SELECT O.*, C.buyerID, C.timestamp "
+      "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID");
+  EXPECT_TRUE(QueryContains(q3, q1));
+  EXPECT_TRUE(QueryContains(q3, q2));
+  EXPECT_FALSE(QueryContains(q1, q3));  // narrower window
+  EXPECT_FALSE(QueryContains(q2, q3));  // missing projection columns
+  EXPECT_FALSE(QueryContains(q1, q2));
+  EXPECT_FALSE(QueryContains(q2, q1));
+}
+
+TEST_F(ContainmentTest, SelfContainment) {
+  AnalyzedQuery q = Q("SELECT itemID FROM OpenAuction [Range 1 Hour] WHERE "
+                      "start_price > 10");
+  EXPECT_TRUE(QueryContains(q, q));
+  EXPECT_TRUE(QueryEquivalent(q, q));
+}
+
+TEST_F(ContainmentTest, Theorem1WindowCondition) {
+  AnalyzedQuery small = Q(
+      "SELECT O.itemID FROM OpenAuction [Range 1 Hour] O, ClosedAuction "
+      "[Now] C WHERE O.itemID = C.itemID");
+  AnalyzedQuery big = Q(
+      "SELECT O.itemID FROM OpenAuction [Range 2 Hour] O, ClosedAuction "
+      "[Now] C WHERE O.itemID = C.itemID");
+  EXPECT_TRUE(QueryContains(big, small));
+  EXPECT_FALSE(QueryContains(small, big));
+}
+
+TEST_F(ContainmentTest, UnboundedWindowContainsAll) {
+  AnalyzedQuery bounded = Q(
+      "SELECT O.itemID FROM OpenAuction [Range 1 Hour] O, ClosedAuction "
+      "[Now] C WHERE O.itemID = C.itemID");
+  AnalyzedQuery unbounded = Q(
+      "SELECT O.itemID FROM OpenAuction [Unbounded] O, ClosedAuction [Now] "
+      "C WHERE O.itemID = C.itemID");
+  EXPECT_TRUE(QueryContains(unbounded, bounded));
+  EXPECT_FALSE(QueryContains(bounded, unbounded));
+}
+
+TEST_F(ContainmentTest, SelectionImplication) {
+  AnalyzedQuery narrow = Q(
+      "SELECT itemID FROM OpenAuction WHERE start_price >= 10 AND "
+      "start_price <= 20");
+  AnalyzedQuery wide = Q(
+      "SELECT itemID FROM OpenAuction WHERE start_price >= 5 AND "
+      "start_price <= 25");
+  EXPECT_TRUE(QueryContains(wide, narrow));
+  EXPECT_FALSE(QueryContains(narrow, wide));
+}
+
+TEST_F(ContainmentTest, ProjectionMustBeSuperset) {
+  AnalyzedQuery one = Q("SELECT itemID FROM OpenAuction");
+  AnalyzedQuery two = Q("SELECT itemID, start_price FROM OpenAuction");
+  EXPECT_TRUE(QueryContains(two, one));
+  EXPECT_FALSE(QueryContains(one, two));
+}
+
+TEST_F(ContainmentTest, DifferentStreamsNeverContain) {
+  AnalyzedQuery a = Q("SELECT itemID FROM OpenAuction");
+  AnalyzedQuery b = Q("SELECT itemID FROM ClosedAuction");
+  EXPECT_FALSE(QueryContains(a, b));
+  EXPECT_FALSE(QueryContains(b, a));
+}
+
+TEST_F(ContainmentTest, MissingJoinMakesContainerWider) {
+  // Container without the join admits more rows: containment holds only in
+  // that direction... but the output schemas differ in arity (cross
+  // product), and joins are conditions: container's joins must be a subset
+  // of containee's.
+  AnalyzedQuery with_join = Q(
+      "SELECT O.itemID FROM OpenAuction O, ClosedAuction C "
+      "WHERE O.itemID = C.itemID");
+  AnalyzedQuery without_join = Q(
+      "SELECT O.itemID FROM OpenAuction O, ClosedAuction C "
+      "WHERE O.sellerID > 0 AND O.itemID = C.itemID");
+  EXPECT_TRUE(QueryContains(with_join, without_join));
+  EXPECT_FALSE(QueryContains(without_join, with_join));
+}
+
+TEST_F(ContainmentTest, ExtraResidualNarrowsContainee) {
+  AnalyzedQuery plain = Q(
+      "SELECT O.itemID FROM OpenAuction O, ClosedAuction C "
+      "WHERE O.itemID = C.itemID");
+  AnalyzedQuery tighter = Q(
+      "SELECT O.itemID FROM OpenAuction O, ClosedAuction C "
+      "WHERE O.itemID = C.itemID AND O.timestamp - C.timestamp <= 0");
+  EXPECT_TRUE(QueryContains(plain, tighter));
+  EXPECT_FALSE(QueryContains(tighter, plain));
+}
+
+TEST_F(ContainmentTest, AliasNamesDoNotMatter) {
+  AnalyzedQuery a = Q(
+      "SELECT X.itemID FROM OpenAuction [Range 1 Hour] X, ClosedAuction "
+      "[Now] Y WHERE X.itemID = Y.itemID");
+  AnalyzedQuery b = Q(
+      "SELECT O.itemID FROM OpenAuction [Range 1 Hour] O, ClosedAuction "
+      "[Now] C WHERE O.itemID = C.itemID");
+  EXPECT_TRUE(QueryEquivalent(a, b));
+}
+
+TEST_F(ContainmentTest, SourceOrderDoesNotMatter) {
+  AnalyzedQuery a = Q(
+      "SELECT O.itemID FROM OpenAuction [Range 1 Hour] O, ClosedAuction "
+      "[Now] C WHERE O.itemID = C.itemID");
+  AnalyzedQuery b = Q(
+      "SELECT O.itemID FROM ClosedAuction [Now] C, OpenAuction [Range 1 "
+      "Hour] O WHERE O.itemID = C.itemID");
+  EXPECT_TRUE(QueryEquivalent(a, b));
+}
+
+TEST_F(ContainmentTest, AggregateTheorem2RequiresEqualWindows) {
+  AnalyzedQuery h1 = Q(
+      "SELECT station_id, AVG(ambient_temperature) FROM sensor_00 "
+      "[Range 1 Hour] GROUP BY station_id");
+  AnalyzedQuery h1_same = Q(
+      "SELECT station_id, AVG(ambient_temperature) FROM sensor_00 "
+      "[Range 1 Hour] GROUP BY station_id");
+  AnalyzedQuery h2 = Q(
+      "SELECT station_id, AVG(ambient_temperature) FROM sensor_00 "
+      "[Range 2 Hour] GROUP BY station_id");
+  EXPECT_TRUE(QueryContains(h1, h1_same));
+  EXPECT_FALSE(QueryContains(h2, h1));  // different window
+  EXPECT_FALSE(QueryContains(h1, h2));
+}
+
+TEST_F(ContainmentTest, AggregateSelectionsMustBeEquivalent) {
+  AnalyzedQuery narrow = Q(
+      "SELECT station_id, AVG(ambient_temperature) FROM sensor_00 "
+      "[Range 1 Hour] WHERE ambient_temperature > 10 GROUP BY station_id");
+  AnalyzedQuery wide = Q(
+      "SELECT station_id, AVG(ambient_temperature) FROM sensor_00 "
+      "[Range 1 Hour] GROUP BY station_id");
+  // A wider aggregate does NOT contain a narrower one (values differ).
+  EXPECT_FALSE(QueryContains(wide, narrow));
+  EXPECT_FALSE(QueryContains(narrow, wide));
+}
+
+TEST_F(ContainmentTest, AggregateVsSpjNeverContain) {
+  AnalyzedQuery agg = Q(
+      "SELECT station_id, COUNT(*) FROM sensor_00 GROUP BY station_id");
+  AnalyzedQuery spj = Q("SELECT station_id FROM sensor_00");
+  EXPECT_FALSE(QueryContains(agg, spj));
+  EXPECT_FALSE(QueryContains(spj, agg));
+}
+
+TEST_F(ContainmentTest, DifferentAggregateFunctions) {
+  AnalyzedQuery avg = Q(
+      "SELECT station_id, AVG(ambient_temperature) FROM sensor_00 "
+      "[Range 1 Hour] GROUP BY station_id");
+  AnalyzedQuery maxq = Q(
+      "SELECT station_id, MAX(ambient_temperature) FROM sensor_00 "
+      "[Range 1 Hour] GROUP BY station_id");
+  EXPECT_FALSE(QueryContains(avg, maxq));
+}
+
+TEST_F(ContainmentTest, AlignSourcesRejectsSelfJoin) {
+  AnalyzedQuery self = Q(
+      "SELECT A.itemID FROM OpenAuction A, OpenAuction B WHERE A.itemID = "
+      "B.itemID");
+  EXPECT_FALSE(AlignSources(self, self).has_value());
+}
+
+TEST_F(ContainmentTest, AlignSourcesMapsByStream) {
+  AnalyzedQuery a = Q(
+      "SELECT O.itemID FROM OpenAuction O, ClosedAuction C WHERE O.itemID "
+      "= C.itemID");
+  AnalyzedQuery b = Q(
+      "SELECT O.itemID FROM ClosedAuction C, OpenAuction O WHERE O.itemID "
+      "= C.itemID");
+  auto align = AlignSources(a, b);
+  ASSERT_TRUE(align.has_value());
+  EXPECT_EQ((*align)[0], 1u);  // a's OpenAuction is b's source 1
+  EXPECT_EQ((*align)[1], 0u);
+}
+
+}  // namespace
+}  // namespace cosmos

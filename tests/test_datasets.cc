@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "stream/auction_dataset.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+TEST(SensorDataset, SchemasHaveMeasurementsAndRanges) {
+  SensorDataset sensors;
+  auto schema = sensors.SchemaOf(0);
+  EXPECT_EQ(schema->stream_name(), "sensor_00");
+  EXPECT_TRUE(schema->HasAttribute("station_id"));
+  EXPECT_TRUE(schema->HasAttribute("ambient_temperature"));
+  EXPECT_TRUE(schema->HasAttribute("timestamp"));
+  auto temp = schema->FindAttribute("ambient_temperature");
+  ASSERT_TRUE(temp.ok());
+  EXPECT_TRUE(temp->has_range);
+  EXPECT_LT(temp->min, temp->max);
+}
+
+TEST(SensorDataset, RegistersSixtyThreeStreams) {
+  Catalog catalog;
+  SensorDataset sensors;
+  ASSERT_TRUE(sensors.RegisterAll(catalog).ok());
+  EXPECT_EQ(catalog.num_streams(), 63u);  // as in the paper's experiment
+}
+
+TEST(SensorDataset, GeneratorIsTimestampOrderedAndBounded) {
+  SensorDatasetOptions opts;
+  opts.duration = 10 * kMinute;
+  opts.sampling_period = 30 * kSecond;
+  SensorDataset sensors(opts);
+  auto gen = sensors.MakeGenerator(5);
+  Timestamp prev = -1;
+  int count = 0;
+  while (auto t = gen->Next()) {
+    EXPECT_GE(t->timestamp(), prev);
+    prev = t->timestamp();
+    EXPECT_LT(t->timestamp(), opts.duration);
+    // Values stay inside declared ranges.
+    for (size_t i = 0; i < t->schema()->num_attributes(); ++i) {
+      const auto& def = t->schema()->attribute(i);
+      if (def.has_range && def.type == ValueType::kDouble) {
+        double v = t->value(i).AsDouble();
+        EXPECT_GE(v, def.min) << def.name;
+        EXPECT_LE(v, def.max) << def.name;
+      }
+    }
+    ++count;
+  }
+  EXPECT_EQ(count, 20);  // 10 minutes at 30s period
+}
+
+TEST(SensorDataset, DeterministicForSameSeed) {
+  SensorDataset a;
+  SensorDataset b;
+  auto ga = a.MakeGenerator(3);
+  auto gb = b.MakeGenerator(3);
+  for (int i = 0; i < 10; ++i) {
+    auto ta = ga->Next();
+    auto tb = gb->Next();
+    ASSERT_TRUE(ta.has_value());
+    ASSERT_TRUE(tb.has_value());
+    EXPECT_EQ(*ta, *tb);
+  }
+}
+
+TEST(SensorDataset, DifferentStationsDiffer) {
+  SensorDataset sensors;
+  auto g0 = sensors.MakeGenerator(0);
+  auto g1 = sensors.MakeGenerator(1);
+  auto t0 = g0->Next();
+  auto t1 = g1->Next();
+  ASSERT_TRUE(t0 && t1);
+  EXPECT_EQ(t0->GetAttribute("station_id")->AsInt64(), 0);
+  EXPECT_EQ(t1->GetAttribute("station_id")->AsInt64(), 1);
+}
+
+TEST(SensorDataset, ReplayIsGloballyOrdered) {
+  SensorDatasetOptions opts;
+  opts.num_stations = 5;
+  opts.duration = 5 * kMinute;
+  SensorDataset sensors(opts);
+  auto replay = sensors.MakeReplay();
+  Timestamp prev = -1;
+  int count = 0;
+  while (auto t = replay->Next()) {
+    EXPECT_GE(t->timestamp(), prev);
+    prev = t->timestamp();
+    ++count;
+  }
+  EXPECT_EQ(count, 5 * 10);  // 5 stations x 10 samples
+}
+
+TEST(SensorDataset, RateMatchesSamplingPeriod) {
+  SensorDatasetOptions opts;
+  opts.sampling_period = 2 * kSecond;
+  SensorDataset sensors(opts);
+  EXPECT_DOUBLE_EQ(sensors.RatePerStation(), 0.5);
+}
+
+TEST(AuctionDataset, SchemasMatchTable1) {
+  auto open = AuctionDataset::OpenAuctionSchema();
+  EXPECT_EQ(open->stream_name(), "OpenAuction");
+  EXPECT_TRUE(open->HasAttribute("itemID"));
+  EXPECT_TRUE(open->HasAttribute("sellerID"));
+  EXPECT_TRUE(open->HasAttribute("start_price"));
+  EXPECT_TRUE(open->HasAttribute("timestamp"));
+  auto closed = AuctionDataset::ClosedAuctionSchema();
+  EXPECT_EQ(closed->stream_name(), "ClosedAuction");
+  EXPECT_TRUE(closed->HasAttribute("itemID"));
+  EXPECT_TRUE(closed->HasAttribute("buyerID"));
+  EXPECT_TRUE(closed->HasAttribute("timestamp"));
+}
+
+TEST(AuctionDataset, EveryCloseFollowsItsOpenWithinBounds) {
+  AuctionDatasetOptions opts;
+  opts.num_auctions = 500;
+  opts.close_fraction = 1.0;
+  AuctionDataset auctions(opts);
+  auto open_gen = auctions.MakeOpenGenerator();
+  std::map<int64_t, Timestamp> open_time;
+  while (auto t = open_gen->Next()) {
+    open_time[t->GetAttribute("itemID")->AsInt64()] = t->timestamp();
+  }
+  EXPECT_EQ(open_time.size(), 500u);
+  auto closed_gen = auctions.MakeClosedGenerator();
+  int closes = 0;
+  while (auto t = closed_gen->Next()) {
+    int64_t item = t->GetAttribute("itemID")->AsInt64();
+    ASSERT_TRUE(open_time.count(item));
+    Duration d = t->timestamp() - open_time[item];
+    EXPECT_GE(d, opts.min_duration);
+    EXPECT_LE(d, opts.max_duration);
+    ++closes;
+  }
+  EXPECT_EQ(closes, 500);
+}
+
+TEST(AuctionDataset, CloseFractionRespected) {
+  AuctionDatasetOptions opts;
+  opts.num_auctions = 2000;
+  opts.close_fraction = 0.5;
+  AuctionDataset auctions(opts);
+  auto closed = auctions.MakeClosedGenerator();
+  int closes = 0;
+  while (closed->Next()) ++closes;
+  EXPECT_NEAR(closes, 1000, 100);
+}
+
+TEST(AuctionDataset, StreamsAreTimestampOrdered) {
+  AuctionDataset auctions;
+  std::vector<std::unique_ptr<StreamGenerator>> gens;
+  gens.push_back(auctions.MakeOpenGenerator());
+  gens.push_back(auctions.MakeClosedGenerator());
+  for (auto& gen : gens) {
+    Timestamp prev = -1;
+    while (auto t = gen->Next()) {
+      EXPECT_GE(t->timestamp(), prev);
+      prev = t->timestamp();
+    }
+  }
+}
+
+TEST(Generator, VectorGeneratorDrains) {
+  auto schema = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"x", ValueType::kInt64}});
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 5; ++i) {
+    tuples.emplace_back(schema, std::vector<Value>{Value(int64_t{i})}, i);
+  }
+  VectorGenerator gen(schema, tuples);
+  auto drained = DrainGenerator(gen);
+  EXPECT_EQ(drained.size(), 5u);
+  EXPECT_FALSE(gen.Next().has_value());
+}
+
+TEST(Generator, ReplayMergerInterleavesByTimestamp) {
+  auto schema = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"x", ValueType::kInt64}});
+  auto make = [&](std::vector<Timestamp> ts) {
+    std::vector<Tuple> tuples;
+    for (Timestamp t : ts) {
+      tuples.emplace_back(schema, std::vector<Value>{Value(int64_t{t})}, t);
+    }
+    return std::make_unique<VectorGenerator>(schema, std::move(tuples));
+  };
+  std::vector<std::unique_ptr<StreamGenerator>> gens;
+  gens.push_back(make({1, 4, 7}));
+  gens.push_back(make({2, 3, 8}));
+  ReplayMerger merger(std::move(gens));
+  std::vector<Timestamp> order;
+  while (auto t = merger.Next()) order.push_back(t->timestamp());
+  EXPECT_EQ(order, (std::vector<Timestamp>{1, 2, 3, 4, 7, 8}));
+}
+
+TEST(Generator, UnsortedVectorDies) {
+  auto schema = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"x", ValueType::kInt64}});
+  std::vector<Tuple> tuples;
+  tuples.emplace_back(schema, std::vector<Value>{Value(int64_t{2})}, 2);
+  tuples.emplace_back(schema, std::vector<Value>{Value(int64_t{1})}, 1);
+  EXPECT_DEATH(VectorGenerator(schema, std::move(tuples)), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace cosmos

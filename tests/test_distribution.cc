@@ -1,0 +1,77 @@
+#include "core/query_distribution.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos {
+namespace {
+
+TEST(QueryDistributor, NoProcessorsFails) {
+  QueryDistributor d;
+  EXPECT_EQ(d.Assign("q", "sig").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryDistributor, RoundRobinCycles) {
+  QueryDistributor d(DistributionPolicy::kRoundRobin);
+  d.AddProcessor(10);
+  d.AddProcessor(20);
+  d.AddProcessor(30);
+  EXPECT_EQ(*d.Assign("a", "s1"), 10);
+  EXPECT_EQ(*d.Assign("b", "s2"), 20);
+  EXPECT_EQ(*d.Assign("c", "s3"), 30);
+  EXPECT_EQ(*d.Assign("d", "s4"), 10);
+}
+
+TEST(QueryDistributor, LeastLoadedPicksIdleProcessor) {
+  QueryDistributor d(DistributionPolicy::kLeastLoaded);
+  d.AddProcessor(1);
+  d.AddProcessor(2);
+  (void)d.Assign("a", "s");
+  (void)d.Assign("b", "s");
+  EXPECT_EQ(d.LoadOf(1), 1);
+  EXPECT_EQ(d.LoadOf(2), 1);
+  (void)d.Assign("c", "s");
+  EXPECT_EQ(d.LoadOf(1) + d.LoadOf(2), 3);
+  EXPECT_LE(std::abs(d.LoadOf(1) - d.LoadOf(2)), 1);
+}
+
+TEST(QueryDistributor, SignatureAffinityCoLocates) {
+  QueryDistributor d(DistributionPolicy::kSignatureAffinity);
+  d.AddProcessor(1);
+  d.AddProcessor(2);
+  NodeId home = *d.Assign("a", "sigX");
+  // Same-signature queries land on the same processor even when the other
+  // is idle.
+  EXPECT_EQ(*d.Assign("b", "sigX"), home);
+  EXPECT_EQ(*d.Assign("c", "sigX"), home);
+  // Different signature lands on the less loaded processor.
+  NodeId other = *d.Assign("d", "sigY");
+  EXPECT_NE(other, home);
+}
+
+TEST(QueryDistributor, DuplicateQueryIdRejected) {
+  QueryDistributor d;
+  d.AddProcessor(1);
+  (void)d.Assign("q", "s");
+  EXPECT_EQ(d.Assign("q", "s").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(QueryDistributor, ReleaseDropsLoad) {
+  QueryDistributor d(DistributionPolicy::kLeastLoaded);
+  d.AddProcessor(1);
+  (void)d.Assign("q", "s");
+  EXPECT_EQ(d.LoadOf(1), 1);
+  EXPECT_TRUE(d.Release("q").ok());
+  EXPECT_EQ(d.LoadOf(1), 0);
+  EXPECT_EQ(d.Release("q").code(), StatusCode::kNotFound);
+}
+
+TEST(QueryDistributor, AddProcessorIsIdempotent) {
+  QueryDistributor d;
+  d.AddProcessor(1);
+  d.AddProcessor(1);
+  EXPECT_EQ(d.processors().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,120 @@
+// Query-layer failover: a processor disappears and its queries re-home
+// onto the surviving processors with no user-visible change beyond the
+// gap.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+DisseminationTree ChainTree(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(Edge{i, i + 1, 1.0});
+  return DisseminationTree::FromEdges(n, edges).value();
+}
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SensorDatasetOptions sopts;
+    sopts.num_stations = 3;
+    sopts.duration = 10 * kMinute;
+    sensors_ = std::make_unique<SensorDataset>(sopts);
+    system_ = std::make_unique<CosmosSystem>(ChainTree(6));
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_TRUE(system_
+                      ->RegisterSource(sensors_->SchemaOf(k),
+                                       sensors_->RatePerStation(), 0)
+                      .ok());
+    }
+    ASSERT_TRUE(system_->AddProcessor(2).ok());
+    ASSERT_TRUE(system_->AddProcessor(4).ok());
+  }
+
+  std::unique_ptr<SensorDataset> sensors_;
+  std::unique_ptr<CosmosSystem> system_;
+};
+
+TEST_F(FailoverTest, QueriesSurviveProcessorFailure) {
+  int hits = 0;
+  auto id = system_->SubmitQuery(
+      "SELECT ambient_temperature FROM sensor_01", 5,
+      [&](const std::string&, const Tuple&) { ++hits; });
+  ASSERT_TRUE(id.ok());
+
+  auto replay1 = sensors_->MakeReplay();
+  ASSERT_TRUE(system_->Replay(*replay1).ok());
+  EXPECT_EQ(hits, 20);
+
+  // Whichever processor hosts the query, fail it.
+  NodeId victim = system_->processor(2) != nullptr &&
+                          system_->processor(2)->num_queries() > 0
+                      ? 2
+                      : 4;
+  ASSERT_TRUE(system_->FailProcessor(victim).ok());
+  EXPECT_EQ(system_->num_processors(), 1u);
+  EXPECT_EQ(system_->TotalQueries(), 1u);
+
+  auto replay2 = sensors_->MakeReplay();
+  ASSERT_TRUE(system_->Replay(*replay2).ok());
+  EXPECT_EQ(hits, 40) << "query went silent after failover";
+}
+
+TEST_F(FailoverTest, CannotFailTheLastProcessor) {
+  ASSERT_TRUE(system_->FailProcessor(2).ok());
+  EXPECT_EQ(system_->FailProcessor(4).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FailoverTest, FailUnknownProcessorRejected) {
+  EXPECT_EQ(system_->FailProcessor(1).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FailoverTest, MergedGroupsReformAtTheNewHome) {
+  int hits1 = 0, hits2 = 0;
+  (void)system_->SubmitQuery(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "20 AND relative_humidity <= 60",
+      5, [&](const std::string&, const Tuple&) { ++hits1; });
+  (void)system_->SubmitQuery(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "40 AND relative_humidity <= 80",
+      5, [&](const std::string&, const Tuple&) { ++hits2; });
+  // Signature affinity put both on one processor as one group.
+  NodeId home = system_->processor(2)->num_queries() == 2 ? 2 : 4;
+  EXPECT_EQ(system_->processor(home)->grouping().num_groups(), 1u);
+
+  auto replay1 = sensors_->MakeReplay();
+  ASSERT_TRUE(system_->Replay(*replay1).ok());
+  int before1 = hits1, before2 = hits2;
+  EXPECT_GT(before1 + before2, 0);
+
+  ASSERT_TRUE(system_->FailProcessor(home).ok());
+  NodeId survivor = home == 2 ? 4 : 2;
+  EXPECT_EQ(system_->processor(survivor)->num_queries(), 2u);
+  // The group re-formed at the survivor.
+  EXPECT_EQ(system_->processor(survivor)->grouping().num_groups(), 1u);
+
+  auto replay2 = sensors_->MakeReplay();
+  ASSERT_TRUE(system_->Replay(*replay2).ok());
+  EXPECT_EQ(hits1, 2 * before1);
+  EXPECT_EQ(hits2, 2 * before2);
+}
+
+TEST_F(FailoverTest, SurvivorLoadReflectsRehoming) {
+  for (int i = 0; i < 4; ++i) {
+    (void)system_->SubmitQuery(
+        "SELECT ambient_temperature FROM sensor_0" + std::to_string(i % 3),
+        5, nullptr);
+  }
+  size_t before = system_->TotalQueries();
+  ASSERT_TRUE(system_->FailProcessor(2).ok());
+  EXPECT_EQ(system_->TotalQueries(), before);
+  EXPECT_EQ(system_->processor(4)->num_queries(), before);
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,124 @@
+// The everything test: a realistic deployment exercising merging,
+// multi-processor distribution, rate calibration, self-tuning
+// reorganization, a link failure with buffered recovery, and a processor
+// failover — asserting user-visible correctness at every stage.
+
+#include <gtest/gtest.h>
+
+#include "core/cosmos.h"
+
+namespace cosmos {
+namespace {
+
+TEST(GrandIntegration, FullLifecycle) {
+  // Overlay + MST.
+  TopologyOptions topo_opts;
+  topo_opts.num_nodes = 30;
+  topo_opts.ba_edges_per_node = 3;
+  topo_opts.seed = 12345;
+  Topology topo = GenerateBarabasiAlbert(topo_opts);
+  auto tree = DisseminationTree::FromEdges(
+                  30, *MinimumSpanningTree(topo.graph))
+                  .value();
+
+  CosmosSystem system(std::move(tree));
+  system.SetOverlay(topo.graph);
+
+  // Sources.
+  SensorDatasetOptions sopts;
+  sopts.num_stations = 6;
+  sopts.duration = 20 * kMinute;
+  SensorDataset sensors(sopts);
+  Rng rng(55);
+  for (int k = 0; k < 6; ++k) {
+    ASSERT_TRUE(system
+                    .RegisterSource(sensors.SchemaOf(k),
+                                    sensors.RatePerStation(),
+                                    static_cast<NodeId>(rng.NextBounded(30)))
+                    .ok());
+  }
+  ASSERT_TRUE(system.AddProcessor(5).ok());
+  ASSERT_TRUE(system.AddProcessor(20).ok());
+
+  // Queries: overlapping pairs that merge, plus an aggregate.
+  std::map<std::string, int> hits;
+  auto reset_hits = [&hits] {
+    hits.clear();
+    hits["narrow"] = hits["wide"] = hits["agg"] = 0;
+  };
+  reset_hits();
+  auto submit = [&](const std::string& cql, NodeId user,
+                    const std::string& tag) {
+    auto id = system.SubmitQuery(cql, user,
+                                 [&hits, tag](const std::string&,
+                                              const Tuple&) { ++hits[tag]; });
+    ASSERT_TRUE(id.ok()) << cql << ": " << id.status().ToString();
+  };
+  submit(
+      "SELECT ambient_temperature, relative_humidity FROM sensor_02 WHERE "
+      "relative_humidity BETWEEN 10 AND 70",
+      7, "narrow");
+  submit(
+      "SELECT ambient_temperature, relative_humidity FROM sensor_02 WHERE "
+      "relative_humidity BETWEEN 30 AND 90",
+      11, "wide");
+  submit(
+      "SELECT station_id, COUNT(*) FROM sensor_03 [Range 5 Minute] GROUP "
+      "BY station_id",
+      29, "agg");
+
+  // The two range queries merged into one group somewhere.
+  EXPECT_EQ(system.TotalQueries(), 3u);
+  EXPECT_LE(system.TotalGroups(), 3u);
+
+  // Phase 1: plain replay.
+  auto replay1 = sensors.MakeReplay();
+  ASSERT_TRUE(system.Replay(*replay1).ok());
+  std::map<std::string, int> phase1 = hits;
+  EXPECT_GT(phase1["wide"], 0);
+  EXPECT_GT(phase1["narrow"] + phase1["wide"], 0);
+  EXPECT_EQ(phase1["agg"], 40);  // one row per arrival on sensor_03
+
+  // Phase 2: calibrate + self-tune, then replay must deliver identically.
+  EXPECT_GT(system.CalibrateRates(), 0u);
+  auto tune = system.SelfTune();
+  ASSERT_TRUE(tune.ok());
+  reset_hits();
+  auto replay2 = sensors.MakeReplay();
+  ASSERT_TRUE(system.Replay(*replay2).ok());
+  EXPECT_EQ(hits, phase1) << "self-tuning changed user-visible results";
+
+  // Phase 3: fail a live tree link mid-replay, repair, verify totals.
+  reset_hits();
+  auto replay3 = sensors.MakeReplay();
+  int streamed = 0;
+  Edge victim = system.network().tree().edges()[3];
+  while (auto t = replay3->Next()) {
+    if (streamed == 60) {
+      ASSERT_TRUE(system.FailLink(victim.u, victim.v).ok());
+    }
+    if (streamed == 180) {
+      ASSERT_TRUE(system.RepairLinks().ok());
+    }
+    ASSERT_TRUE(
+        system.PublishSourceTuple(t->schema()->stream_name(), *t).ok());
+    ++streamed;
+  }
+  if (system.network().HasFailedLinks()) {
+    ASSERT_TRUE(system.RepairLinks().ok());
+  }
+  EXPECT_EQ(hits, phase1) << "link failure + repair lost or duplicated "
+                             "results";
+
+  // Phase 4: fail whichever processor hosts the merged pair; replay again.
+  NodeId victim_proc =
+      system.processor(5)->num_queries() >= 2 ? 5 : 20;
+  ASSERT_TRUE(system.FailProcessor(victim_proc).ok());
+  reset_hits();
+  auto replay4 = sensors.MakeReplay();
+  ASSERT_TRUE(system.Replay(*replay4).ok());
+  EXPECT_EQ(hits, phase1) << "processor failover changed results";
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,169 @@
+#include "expr/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/parser.h"
+
+namespace cosmos {
+namespace {
+
+ConjunctiveClause Parse(const std::string& text) {
+  auto expr = ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto clause = ClauseFromExpr(*expr);
+  EXPECT_TRUE(clause.ok());
+  return *clause;
+}
+
+TEST(Implication, TighterRangeImpliesWider) {
+  EXPECT_TRUE(ClauseImplies(Parse("a >= 10 AND a <= 20"),
+                            Parse("a >= 5 AND a <= 25")));
+  EXPECT_FALSE(ClauseImplies(Parse("a >= 5 AND a <= 25"),
+                             Parse("a >= 10 AND a <= 20")));
+}
+
+TEST(Implication, AnythingImpliesTautology) {
+  EXPECT_TRUE(ClauseImplies(Parse("a > 100"), ConjunctiveClause{}));
+  EXPECT_TRUE(ClauseImplies(ConjunctiveClause{}, ConjunctiveClause{}));
+}
+
+TEST(Implication, TautologyImpliesNothingConstrained) {
+  EXPECT_FALSE(ClauseImplies(ConjunctiveClause{}, Parse("a > 1")));
+}
+
+TEST(Implication, UnsatisfiableImpliesEverything) {
+  EXPECT_TRUE(ClauseImplies(Parse("a > 5 AND a < 1"), Parse("b = 3")));
+}
+
+TEST(Implication, ExtraConstraintsStillImply) {
+  EXPECT_TRUE(
+      ClauseImplies(Parse("a >= 10 AND a <= 20 AND b > 0"), Parse("a >= 5")));
+}
+
+TEST(Implication, StringEqualities) {
+  EXPECT_TRUE(ClauseImplies(Parse("tag = 'x'"), Parse("tag = 'x'")));
+  EXPECT_FALSE(ClauseImplies(Parse("tag = 'x'"), Parse("tag = 'y'")));
+  // Equality to x guarantees != y.
+  EXPECT_TRUE(ClauseImplies(Parse("tag = 'x'"), Parse("tag != 'y'")));
+  EXPECT_FALSE(ClauseImplies(Parse("tag != 'y'"), Parse("tag = 'x'")));
+  EXPECT_TRUE(ClauseImplies(Parse("tag != 'y'"), Parse("tag != 'y'")));
+}
+
+TEST(Implication, ResidualsMustBeSubsumed) {
+  ConjunctiveClause with_residual = Parse("a > b");
+  ConjunctiveClause same = Parse("a > b");
+  EXPECT_TRUE(ClauseImplies(with_residual, same));
+  EXPECT_FALSE(ClauseImplies(Parse("a >= 0"), with_residual));
+  // Residual on the left is extra strength: fine.
+  EXPECT_TRUE(ClauseImplies(Parse("a > b AND a >= 0"), Parse("a >= 0")));
+}
+
+TEST(Implication, EquivalenceIsBidirectional) {
+  EXPECT_TRUE(ClauseEquivalent(Parse("a >= 1 AND a <= 2"),
+                               Parse("a <= 2 AND a >= 1")));
+  EXPECT_FALSE(ClauseEquivalent(Parse("a >= 1"), Parse("a > 1")));
+}
+
+TEST(Disjoint, SeparatedRanges) {
+  EXPECT_TRUE(ClauseDisjoint(Parse("a < 1"), Parse("a > 2")));
+  EXPECT_FALSE(ClauseDisjoint(Parse("a < 2"), Parse("a > 1")));
+}
+
+TEST(Disjoint, DifferentEqualities) {
+  EXPECT_TRUE(ClauseDisjoint(Parse("tag = 'x'"), Parse("tag = 'y'")));
+  EXPECT_TRUE(ClauseDisjoint(Parse("tag = 'x'"), Parse("tag != 'x'")));
+  EXPECT_FALSE(ClauseDisjoint(Parse("tag = 'x'"), Parse("tag != 'y'")));
+}
+
+TEST(Disjoint, IndependentAttributesNotDisjoint) {
+  EXPECT_FALSE(ClauseDisjoint(Parse("a > 5"), Parse("b < 5")));
+}
+
+TEST(DnfImplication, EveryClauseNeedsACover) {
+  auto a = ToDnf(*ParseExpression("(a >= 1 AND a <= 2) OR (a >= 5 AND a <= 6)"));
+  auto b = ToDnf(*ParseExpression("a >= 0 AND a <= 10"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(DnfImplies(*a, *b));
+  EXPECT_FALSE(DnfImplies(*b, *a));
+}
+
+TEST(DnfImplication, PartialCoverFails) {
+  auto a = ToDnf(*ParseExpression("(a >= 1 AND a <= 2) OR (a >= 50)"));
+  auto b = ToDnf(*ParseExpression("a >= 0 AND a <= 10"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(DnfImplies(*a, *b));
+}
+
+// ---- randomized property: implication is sound on samples ----
+
+class ImplicationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+ConjunctiveClause RandomClause(Rng& rng) {
+  ConjunctiveClause c;
+  const char* attrs[] = {"a", "b", "c"};
+  int n = 1 + static_cast<int>(rng.NextBounded(2));
+  for (int i = 0; i < n; ++i) {
+    const char* attr = attrs[rng.NextBounded(3)];
+    double lo = rng.NextInt(-5, 5);
+    double hi = rng.NextInt(-5, 5);
+    if (hi < lo) std::swap(lo, hi);
+    c.ConstrainInterval(attr, Interval(lo, rng.NextBool(), hi,
+                                       rng.NextBool()));
+  }
+  return c;
+}
+
+TEST_P(ImplicationPropertyTest, ImpliesIsSoundOnSamples) {
+  Rng rng(GetParam());
+  auto schema = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"a", ValueType::kDouble},
+                                     {"b", ValueType::kDouble},
+                                     {"c", ValueType::kDouble}});
+  for (int iter = 0; iter < 100; ++iter) {
+    ConjunctiveClause x = RandomClause(rng);
+    ConjunctiveClause y = RandomClause(rng);
+    if (!ClauseImplies(x, y)) continue;
+    // Sample the cube [-6,6]^3: every x-match must y-match.
+    for (double a = -6; a <= 6; a += 2) {
+      for (double b = -6; b <= 6; b += 2) {
+        for (double c = -6; c <= 6; c += 2) {
+          Tuple t(schema, {Value(a), Value(b), Value(c)}, 0);
+          if (x.MatchesCanonical(t)) {
+            EXPECT_TRUE(y.MatchesCanonical(t))
+                << x.ToString() << " => " << y.ToString() << " violated at ("
+                << a << "," << b << "," << c << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ImplicationPropertyTest, DisjointIsSoundOnSamples) {
+  Rng rng(GetParam() ^ 0xD15);
+  auto schema = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"a", ValueType::kDouble},
+                                     {"b", ValueType::kDouble},
+                                     {"c", ValueType::kDouble}});
+  for (int iter = 0; iter < 100; ++iter) {
+    ConjunctiveClause x = RandomClause(rng);
+    ConjunctiveClause y = RandomClause(rng);
+    if (!ClauseDisjoint(x, y)) continue;
+    for (double a = -6; a <= 6; a += 2) {
+      for (double b = -6; b <= 6; b += 2) {
+        for (double c = -6; c <= 6; c += 2) {
+          Tuple t(schema, {Value(a), Value(b), Value(c)}, 0);
+          EXPECT_FALSE(x.MatchesCanonical(t) && y.MatchesCanonical(t))
+              << x.ToString() << " disjoint " << y.ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace cosmos

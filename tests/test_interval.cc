@@ -1,0 +1,220 @@
+#include "expr/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cosmos {
+namespace {
+
+TEST(Interval, DefaultIsAll) {
+  Interval i;
+  EXPECT_TRUE(i.IsAll());
+  EXPECT_FALSE(i.IsEmpty());
+  EXPECT_TRUE(i.Contains(0));
+  EXPECT_TRUE(i.Contains(-1e300));
+  EXPECT_TRUE(i.Contains(1e300));
+}
+
+TEST(Interval, EmptyContainsNothing) {
+  Interval e = Interval::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_FALSE(e.Contains(0));
+  EXPECT_EQ(e.ToString(), "{}");
+}
+
+TEST(Interval, PointInterval) {
+  Interval p = Interval::Point(5.0);
+  EXPECT_TRUE(p.IsPoint());
+  EXPECT_TRUE(p.Contains(5.0));
+  EXPECT_FALSE(p.Contains(5.0001));
+}
+
+TEST(Interval, OpenClosedBoundaries) {
+  Interval closed(1.0, false, 2.0, false);
+  EXPECT_TRUE(closed.Contains(1.0));
+  EXPECT_TRUE(closed.Contains(2.0));
+  Interval open(1.0, true, 2.0, true);
+  EXPECT_FALSE(open.Contains(1.0));
+  EXPECT_FALSE(open.Contains(2.0));
+  EXPECT_TRUE(open.Contains(1.5));
+}
+
+TEST(Interval, DegeneratesToEmpty) {
+  Interval bad(2.0, false, 1.0, false);
+  EXPECT_TRUE(bad.IsEmpty());
+  Interval half_open_point(1.0, true, 1.0, false);
+  EXPECT_TRUE(half_open_point.IsEmpty());
+}
+
+TEST(Interval, AtLeastAtMost) {
+  Interval ge = Interval::AtLeast(3.0);
+  EXPECT_TRUE(ge.Contains(3.0));
+  EXPECT_TRUE(ge.Contains(1e308));
+  EXPECT_FALSE(ge.Contains(2.999));
+  Interval lt = Interval::AtMost(3.0, /*open=*/true);
+  EXPECT_FALSE(lt.Contains(3.0));
+  EXPECT_TRUE(lt.Contains(2.999));
+}
+
+TEST(Interval, CoversRespectsBoundTypes) {
+  Interval outer(0.0, false, 10.0, false);
+  Interval inner(0.0, true, 10.0, true);
+  EXPECT_TRUE(outer.Covers(inner));
+  EXPECT_FALSE(inner.Covers(outer));  // open misses the endpoints
+  EXPECT_TRUE(outer.Covers(outer));
+  EXPECT_TRUE(outer.Covers(Interval::Empty()));
+  EXPECT_FALSE(Interval::Empty().Covers(outer));
+  EXPECT_TRUE(Interval::Empty().Covers(Interval::Empty()));
+}
+
+TEST(Interval, IntersectBasics) {
+  Interval a(0.0, false, 5.0, false);
+  Interval b(3.0, false, 8.0, false);
+  Interval i = a.Intersect(b);
+  EXPECT_EQ(i, Interval(3.0, false, 5.0, false));
+  EXPECT_TRUE(a.Intersect(Interval(6.0, false, 7.0, false)).IsEmpty());
+}
+
+TEST(Interval, IntersectTouchingPoints) {
+  Interval a(0.0, false, 3.0, false);
+  Interval b(3.0, false, 5.0, false);
+  Interval i = a.Intersect(b);
+  EXPECT_TRUE(i.IsPoint());
+  EXPECT_TRUE(i.Contains(3.0));
+  // Open touch is empty.
+  Interval c(0.0, false, 3.0, true);
+  EXPECT_TRUE(c.Intersect(b).IsEmpty());
+}
+
+TEST(Interval, HullSpansGaps) {
+  Interval a(0.0, false, 1.0, false);
+  Interval b(3.0, false, 4.0, false);
+  Interval h = a.Hull(b);
+  EXPECT_EQ(h, Interval(0.0, false, 4.0, false));
+  EXPECT_TRUE(h.Contains(2.0));  // hull over-approximates the union
+}
+
+TEST(Interval, HullWithEmptyIsIdentity) {
+  Interval a(0.0, false, 1.0, false);
+  EXPECT_EQ(a.Hull(Interval::Empty()), a);
+  EXPECT_EQ(Interval::Empty().Hull(a), a);
+}
+
+TEST(Interval, UnionIsExactDetection) {
+  Interval a(0.0, false, 2.0, false);
+  Interval b(1.0, false, 3.0, false);
+  EXPECT_TRUE(a.UnionIsExact(b));  // overlap
+  Interval c(2.0, false, 3.0, false);
+  EXPECT_TRUE(a.UnionIsExact(c));  // closed touch
+  Interval d(2.0, true, 3.0, false);
+  EXPECT_TRUE(a.UnionIsExact(d));  // touch included by a
+  Interval e(0.0, false, 2.0, true);
+  Interval f(2.0, true, 3.0, false);
+  EXPECT_FALSE(e.UnionIsExact(f));  // hole at 2.0
+  Interval g(5.0, false, 6.0, false);
+  EXPECT_FALSE(a.UnionIsExact(g));  // gap
+}
+
+TEST(Interval, SelectivityWithinRange) {
+  Interval half(0.0, false, 5.0, false);
+  EXPECT_NEAR(half.SelectivityWithin(0.0, 10.0), 0.5, 1e-12);
+  EXPECT_NEAR(Interval::All().SelectivityWithin(0.0, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(Interval::Empty().SelectivityWithin(0.0, 10.0), 0.0, 1e-12);
+  // Outside the range entirely.
+  Interval out(20.0, false, 30.0, false);
+  EXPECT_NEAR(out.SelectivityWithin(0.0, 10.0), 0.0, 1e-12);
+  // Point gets the equality sliver.
+  EXPECT_NEAR(Interval::Point(5.0).SelectivityWithin(0.0, 10.0), 0.001,
+              1e-12);
+}
+
+TEST(Interval, ToStringForms) {
+  EXPECT_EQ(Interval(1.0, false, 2.0, true).ToString(), "[1, 2)");
+  EXPECT_EQ(Interval::AtLeast(3.0).ToString(), "[3, +inf)");
+  EXPECT_EQ(Interval::All().ToString(), "(-inf, +inf)");
+}
+
+// ---- randomized properties ----
+
+class IntervalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+Interval RandomInterval(Rng& rng) {
+  switch (rng.NextBounded(6)) {
+    case 0:
+      return Interval::All();
+    case 1:
+      return Interval::Empty();
+    case 2:
+      return Interval::Point(rng.NextInt(-5, 5));
+    case 3:
+      return Interval::AtLeast(rng.NextInt(-5, 5), rng.NextBool());
+    case 4:
+      return Interval::AtMost(rng.NextInt(-5, 5), rng.NextBool());
+    default: {
+      double lo = rng.NextInt(-5, 5);
+      double hi = rng.NextInt(-5, 5);
+      if (hi < lo) std::swap(lo, hi);
+      return Interval(lo, rng.NextBool(), hi, rng.NextBool());
+    }
+  }
+}
+
+TEST_P(IntervalPropertyTest, IntersectionIsExactOnSamples) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    Interval a = RandomInterval(rng);
+    Interval b = RandomInterval(rng);
+    Interval i = a.Intersect(b);
+    for (double x = -6.0; x <= 6.0; x += 0.5) {
+      EXPECT_EQ(i.Contains(x), a.Contains(x) && b.Contains(x))
+          << a.ToString() << " ∩ " << b.ToString() << " at " << x;
+    }
+  }
+}
+
+TEST_P(IntervalPropertyTest, HullCoversBothAndUnion) {
+  Rng rng(GetParam() ^ 0xFF);
+  for (int iter = 0; iter < 50; ++iter) {
+    Interval a = RandomInterval(rng);
+    Interval b = RandomInterval(rng);
+    Interval h = a.Hull(b);
+    EXPECT_TRUE(h.Covers(a));
+    EXPECT_TRUE(h.Covers(b));
+    for (double x = -6.0; x <= 6.0; x += 0.5) {
+      if (a.Contains(x) || b.Contains(x)) {
+        EXPECT_TRUE(h.Contains(x));
+      }
+    }
+    if (a.UnionIsExact(b)) {
+      // Exact hull adds no new sample points.
+      for (double x = -6.0; x <= 6.0; x += 0.5) {
+        EXPECT_EQ(h.Contains(x), a.Contains(x) || b.Contains(x))
+            << a.ToString() << " u " << b.ToString() << " at " << x;
+      }
+    }
+  }
+}
+
+TEST_P(IntervalPropertyTest, CoversAgreesWithSampleMembership) {
+  Rng rng(GetParam() ^ 0xABC);
+  for (int iter = 0; iter < 50; ++iter) {
+    Interval a = RandomInterval(rng);
+    Interval b = RandomInterval(rng);
+    if (a.Covers(b)) {
+      for (double x = -6.0; x <= 6.0; x += 0.25) {
+        if (b.Contains(x)) {
+          EXPECT_TRUE(a.Contains(x))
+              << a.ToString() << " covers " << b.ToString() << " but misses "
+              << x;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,101 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  auto r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto tokens = Lex("SELECT foo _bar b2");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].text, "_bar");
+  EXPECT_EQ(tokens[3].text, "b2");
+}
+
+TEST(Lexer, IntegerAndFloatLiterals) {
+  auto tokens = Lex("42 3.14 1e3 2.5e-2 7");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.14);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+  EXPECT_EQ(tokens[4].type, TokenType::kInteger);
+}
+
+TEST(Lexer, IntegerFollowedByIdentifier) {
+  auto tokens = Lex("3 e");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+}
+
+TEST(Lexer, StringLiterals) {
+  auto tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].type, TokenType::kString);
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(Lexer, Operators) {
+  auto tokens = Lex("= != <> < <= > >= + - * / ( ) [ ] , .");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,     TokenType::kNe,      TokenType::kNe,
+      TokenType::kLt,     TokenType::kLe,      TokenType::kGt,
+      TokenType::kGe,     TokenType::kPlus,    TokenType::kMinus,
+      TokenType::kStar,   TokenType::kSlash,   TokenType::kLParen,
+      TokenType::kRParen, TokenType::kLBracket, TokenType::kRBracket,
+      TokenType::kComma,  TokenType::kDot,     TokenType::kEnd};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << i;
+  }
+}
+
+TEST(Lexer, StrayCharacterFails) {
+  EXPECT_FALSE(Tokenize("a # b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(Lexer, OffsetsPointIntoSource) {
+  auto tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+TEST(Lexer, QualifiedNameIsThreeTokens) {
+  auto tokens = Lex("O.itemID");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+}
+
+TEST(Lexer, KeywordMatchIsCaseInsensitive) {
+  auto tokens = Lex("sElEcT");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_FALSE(tokens[0].IsKeyword("FROM"));
+}
+
+}  // namespace
+}  // namespace cosmos

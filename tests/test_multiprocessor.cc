@@ -1,0 +1,171 @@
+// Multi-processor deployments: several SPE-equipped nodes, queries spread
+// by the load-management service, source streams fanning to every
+// interested processor, result streams converging on users.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+// 0-1-2-3-4-5 chain.
+DisseminationTree ChainTree(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(Edge{i, i + 1, 1.0});
+  return DisseminationTree::FromEdges(n, edges).value();
+}
+
+class MultiProcessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SensorDatasetOptions sopts;
+    sopts.num_stations = 4;
+    sopts.duration = 10 * kMinute;
+    sensors_ = std::make_unique<SensorDataset>(sopts);
+  }
+
+  std::unique_ptr<SensorDataset> sensors_;
+};
+
+TEST_F(MultiProcessorTest, RoundRobinSpreadsQueries) {
+  SystemOptions options;
+  options.distribution = DistributionPolicy::kRoundRobin;
+  CosmosSystem system(ChainTree(6), options);
+  for (int k = 0; k < 4; ++k) {
+    (void)system.RegisterSource(sensors_->SchemaOf(k),
+                                sensors_->RatePerStation(), 0);
+  }
+  ASSERT_TRUE(system.AddProcessor(2).ok());
+  ASSERT_TRUE(system.AddProcessor(4).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(system
+                    .SubmitQuery("SELECT ambient_temperature FROM sensor_0" +
+                                     std::to_string(i % 4),
+                                 5, nullptr)
+                    .ok());
+  }
+  EXPECT_EQ(system.processor(2)->num_queries(), 3u);
+  EXPECT_EQ(system.processor(4)->num_queries(), 3u);
+}
+
+TEST_F(MultiProcessorTest, ResultsFlowFromTheRightProcessor) {
+  SystemOptions options;
+  options.distribution = DistributionPolicy::kRoundRobin;
+  CosmosSystem system(ChainTree(6), options);
+  for (int k = 0; k < 4; ++k) {
+    (void)system.RegisterSource(sensors_->SchemaOf(k),
+                                sensors_->RatePerStation(), 0);
+  }
+  ASSERT_TRUE(system.AddProcessor(1).ok());
+  ASSERT_TRUE(system.AddProcessor(3).ok());
+  int hits_a = 0, hits_b = 0;
+  ASSERT_TRUE(system
+                  .SubmitQuery("SELECT ambient_temperature FROM sensor_00",
+                               5,
+                               [&](const std::string&, const Tuple&) {
+                                 ++hits_a;
+                               })
+                  .ok());
+  ASSERT_TRUE(system
+                  .SubmitQuery("SELECT relative_humidity FROM sensor_01", 5,
+                               [&](const std::string&, const Tuple&) {
+                                 ++hits_b;
+                               })
+                  .ok());
+  auto replay = sensors_->MakeReplay();
+  ASSERT_TRUE(system.Replay(*replay).ok());
+  EXPECT_EQ(hits_a, 20);
+  EXPECT_EQ(hits_b, 20);
+  // Both processors actually run one query each.
+  EXPECT_EQ(system.processor(1)->num_installed_representatives(), 1u);
+  EXPECT_EQ(system.processor(3)->num_installed_representatives(), 1u);
+}
+
+TEST_F(MultiProcessorTest, SourceStreamSharedAcrossProcessors) {
+  // Two processors both consuming sensor_00: the CBN shares the transfer
+  // along the common path from the publisher.
+  SystemOptions options;
+  options.distribution = DistributionPolicy::kRoundRobin;
+  CosmosSystem system(ChainTree(6), options);
+  (void)system.RegisterSource(sensors_->SchemaOf(0),
+                              sensors_->RatePerStation(), 0);
+  ASSERT_TRUE(system.AddProcessor(4).ok());
+  ASSERT_TRUE(system.AddProcessor(5).ok());
+  int hits = 0;
+  ASSERT_TRUE(system
+                  .SubmitQuery("SELECT ambient_temperature FROM sensor_00",
+                               1,
+                               [&](const std::string&, const Tuple&) {
+                                 ++hits;
+                               })
+                  .ok());
+  ASSERT_TRUE(system
+                  .SubmitQuery("SELECT wind_speed FROM sensor_00", 1,
+                               [&](const std::string&, const Tuple&) {
+                                 ++hits;
+                               })
+                  .ok());
+  system.network().ResetStats();
+  auto gen = sensors_->MakeGenerator(0);
+  int published = 0;
+  while (auto t = gen->Next()) {
+    ASSERT_TRUE(system.PublishSourceTuple("sensor_00", *t).ok());
+    ++published;
+  }
+  EXPECT_EQ(hits, 2 * published);
+  // The shared link 0-1 carries each source tuple exactly once even though
+  // two processors downstream want it (the CBN shares the transfer); the
+  // result streams flow 4->1 and 5->1 and never touch 0-1.
+  const auto& stats = system.network().link_stats();
+  auto it = stats.find({0, 1});
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->second.datagrams, static_cast<uint64_t>(published));
+}
+
+TEST_F(MultiProcessorTest, AggregateEndToEndMatchesOracle) {
+  CosmosSystem system(ChainTree(3));
+  (void)system.RegisterSource(sensors_->SchemaOf(0),
+                              sensors_->RatePerStation(), 0);
+  ASSERT_TRUE(system.AddProcessor(1).ok());
+
+  std::vector<Tuple> results;
+  ASSERT_TRUE(system
+                  .SubmitQuery(
+                      "SELECT station_id, AVG(ambient_temperature) FROM "
+                      "sensor_00 [Range 2 Minute] GROUP BY station_id",
+                      2,
+                      [&](const std::string&, const Tuple& t) {
+                        results.push_back(t);
+                      })
+                  .ok());
+
+  // Oracle: sliding 2-minute average over the replayed values.
+  auto gen = sensors_->MakeGenerator(0);
+  std::vector<std::pair<Timestamp, double>> history;
+  std::vector<double> expected;
+  while (auto t = gen->Next()) {
+    double v = t->GetAttribute("ambient_temperature")->AsDouble();
+    history.emplace_back(t->timestamp(), v);
+    double sum = 0;
+    int n = 0;
+    for (const auto& [ts, x] : history) {
+      if (ts >= t->timestamp() - 2 * kMinute) {
+        sum += x;
+        ++n;
+      }
+    }
+    expected.push_back(sum / n);
+    ASSERT_TRUE(system.PublishSourceTuple("sensor_00", *t).ok());
+  }
+  ASSERT_EQ(results.size(), expected.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    auto avg = results[i].GetAttribute("avg_ambient_temperature");
+    ASSERT_TRUE(avg.ok());
+    EXPECT_NEAR(avg->AsDouble(), expected[i], 1e-9) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cosmos

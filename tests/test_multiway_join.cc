@@ -1,0 +1,188 @@
+#include "spe/multiway_join.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/parser.h"
+
+namespace cosmos {
+namespace {
+
+std::shared_ptr<const Schema> PartSchema(const std::string& name) {
+  return std::make_shared<Schema>(
+      name, std::vector<AttributeDef>{{"k", ValueType::kInt64},
+                                      {"v", ValueType::kDouble}});
+}
+
+Tuple Part(const std::shared_ptr<const Schema>& schema, int64_t k, double v,
+           Timestamp ts) {
+  return Tuple(schema, {Value(k), Value(v)}, ts);
+}
+
+class MultiWayJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = PartSchema("A");
+    b_ = PartSchema("B");
+    c_ = PartSchema("C");
+    out_ = MakeConcatenatedSchema(
+        {{a_.get(), "A"}, {b_.get(), "B"}, {c_.get(), "C"}}, "J");
+  }
+
+  std::shared_ptr<const Schema> a_, b_, c_, out_;
+};
+
+TEST_F(MultiWayJoinTest, ConcatenatedSchemaQualifies) {
+  EXPECT_EQ(out_->num_attributes(), 6u);
+  EXPECT_TRUE(out_->HasAttribute("A.k"));
+  EXPECT_TRUE(out_->HasAttribute("B.v"));
+  EXPECT_TRUE(out_->HasAttribute("C.k"));
+}
+
+TEST_F(MultiWayJoinTest, ThreeWayKeyChainJoins) {
+  // A.k = B.k and B.k = C.k.
+  MultiWayJoinOperator join(
+      {kInfiniteDuration, kInfiniteDuration, kInfiniteDuration},
+      {{0, 0, 1, 0}, {1, 0, 2, 0}}, nullptr, out_);
+  std::vector<Tuple> results;
+  join.SetSink([&](const Tuple& t) { results.push_back(t); });
+  join.Push(0, Part(a_, 1, 0.5, 0));
+  join.Push(1, Part(b_, 1, 1.5, 1));
+  EXPECT_TRUE(results.empty());  // C still missing
+  join.Push(2, Part(c_, 1, 2.5, 2));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].GetAttribute("A.k")->AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(results[0].GetAttribute("C.v")->AsDouble(), 2.5);
+  EXPECT_EQ(results[0].timestamp(), 2);  // tau = max
+  // Mismatched key never joins.
+  join.Push(2, Part(c_, 9, 0.0, 3));
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST_F(MultiWayJoinTest, ArrivalOnMiddlePortCompletesCombination) {
+  MultiWayJoinOperator join(
+      {kInfiniteDuration, kInfiniteDuration, kInfiniteDuration},
+      {{0, 0, 1, 0}, {1, 0, 2, 0}}, nullptr, out_);
+  int n = 0;
+  join.SetSink([&](const Tuple&) { ++n; });
+  join.Push(0, Part(a_, 7, 0, 0));
+  join.Push(2, Part(c_, 7, 0, 1));
+  join.Push(1, Part(b_, 7, 0, 2));  // completes on the middle port
+  EXPECT_EQ(n, 1);
+}
+
+TEST_F(MultiWayJoinTest, WindowConditionUsesTau) {
+  // Windows: A 10, B 10, C 10. A combination joins iff every component is
+  // within 10 of the max timestamp.
+  MultiWayJoinOperator join({10, 10, 10}, {{0, 0, 1, 0}, {1, 0, 2, 0}},
+                            nullptr, out_);
+  int n = 0;
+  join.SetSink([&](const Tuple&) { ++n; });
+  join.Push(0, Part(a_, 1, 0, 0));
+  join.Push(1, Part(b_, 1, 0, 5));
+  join.Push(2, Part(c_, 1, 0, 9));  // tau=9: ages 9,4,0 all <= 10
+  EXPECT_EQ(n, 1);
+  join.Push(0, Part(a_, 2, 0, 20));
+  join.Push(1, Part(b_, 2, 0, 25));
+  join.Push(2, Part(c_, 2, 0, 35));  // tau=35: A's age 15 > 10
+  EXPECT_EQ(n, 1);
+}
+
+TEST_F(MultiWayJoinTest, MultipleCombinationsPerArrival) {
+  MultiWayJoinOperator join(
+      {kInfiniteDuration, kInfiniteDuration, kInfiniteDuration},
+      {{0, 0, 1, 0}, {1, 0, 2, 0}}, nullptr, out_);
+  int n = 0;
+  join.SetSink([&](const Tuple&) { ++n; });
+  join.Push(0, Part(a_, 1, 0, 0));
+  join.Push(0, Part(a_, 1, 1, 1));
+  join.Push(1, Part(b_, 1, 0, 2));
+  join.Push(1, Part(b_, 1, 1, 3));
+  join.Push(2, Part(c_, 1, 0, 4));  // 2 As x 2 Bs
+  EXPECT_EQ(n, 4);
+}
+
+TEST_F(MultiWayJoinTest, ResidualFiltersCombinations) {
+  auto residual = ParseExpression("A.v < C.v");
+  ASSERT_TRUE(residual.ok());
+  MultiWayJoinOperator join(
+      {kInfiniteDuration, kInfiniteDuration, kInfiniteDuration},
+      {{0, 0, 1, 0}, {1, 0, 2, 0}}, *residual, out_);
+  int n = 0;
+  join.SetSink([&](const Tuple&) { ++n; });
+  join.Push(0, Part(a_, 1, 5.0, 0));
+  join.Push(1, Part(b_, 1, 0.0, 1));
+  join.Push(2, Part(c_, 1, 9.0, 2));  // 5 < 9: pass
+  join.Push(2, Part(c_, 1, 1.0, 3));  // 5 < 1: fail
+  EXPECT_EQ(n, 1);
+}
+
+// Pairwise two-way equivalence: MultiWayJoin(n=2) must agree with the
+// specialized WindowJoinOperator's Lemma-1 oracle.
+class MultiWayOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiWayOracleTest, ThreeWayMatchesNestedLoopOracle) {
+  Rng rng(GetParam());
+  auto a = PartSchema("A");
+  auto b = PartSchema("B");
+  auto c = PartSchema("C");
+  auto out = MakeConcatenatedSchema(
+      {{a.get(), "A"}, {b.get(), "B"}, {c.get(), "C"}}, "J");
+  const Duration ta = rng.NextInt(0, 15);
+  const Duration tb = rng.NextInt(0, 15);
+  const Duration tc = rng.NextInt(0, 15);
+
+  struct Row {
+    int port;
+    int64_t k;
+    Timestamp ts;
+  };
+  std::vector<Row> rows;
+  Timestamp now = 0;
+  for (int i = 0; i < 120; ++i) {
+    now += rng.NextInt(0, 3);
+    rows.push_back({static_cast<int>(rng.NextBounded(3)),
+                    rng.NextInt(0, 3), now});
+  }
+
+  MultiWayJoinOperator join({ta, tb, tc}, {{0, 0, 1, 0}, {1, 0, 2, 0}},
+                            nullptr, out);
+  int streamed = 0;
+  join.SetSink([&](const Tuple&) { ++streamed; });
+  std::vector<std::shared_ptr<const Schema>> schemas = {a, b, c};
+  for (const auto& r : rows) {
+    join.Push(static_cast<size_t>(r.port),
+              Part(schemas[r.port], r.k, 0, r.ts));
+  }
+
+  // Oracle: all (A,B,C) triples with equal keys and every age <= its
+  // window at tau = max timestamp.
+  int oracle = 0;
+  Duration windows[3] = {ta, tb, tc};
+  for (const auto& x : rows) {
+    if (x.port != 0) continue;
+    for (const auto& y : rows) {
+      if (y.port != 1 || y.k != x.k) continue;
+      for (const auto& z : rows) {
+        if (z.port != 2 || z.k != x.k) continue;
+        Timestamp tau = std::max({x.ts, y.ts, z.ts});
+        Timestamp parts[3] = {x.ts, y.ts, z.ts};
+        bool ok = true;
+        for (int i = 0; i < 3; ++i) {
+          if (windows[i] != kInfiniteDuration &&
+              tau - parts[i] > windows[i]) {
+            ok = false;
+          }
+        }
+        if (ok) ++oracle;
+      }
+    }
+  }
+  EXPECT_EQ(streamed, oracle) << "Ta=" << ta << " Tb=" << tb << " Tc=" << tc;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiWayOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace cosmos

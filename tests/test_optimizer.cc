@@ -1,0 +1,155 @@
+#include "overlay/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "overlay/spanning_tree.h"
+#include "overlay/topology.h"
+
+namespace cosmos {
+namespace {
+
+TEST(OverlayOptimizer, EdgeTrafficFollowsPaths) {
+  // Chain 0-1-2-3 with one flow 0 -> 3.
+  Graph g(4);
+  (void)g.AddEdge(0, 1, 1.0);
+  (void)g.AddEdge(1, 2, 1.0);
+  (void)g.AddEdge(2, 3, 1.0);
+  auto tree = DisseminationTree::FromEdges(
+      4, {Edge{0, 1, 1}, Edge{1, 2, 1}, Edge{2, 3, 1}});
+  ASSERT_TRUE(tree.ok());
+  OverlayOptimizer opt(g);
+  std::vector<Flow> flows = {{0, 3, 100.0}};
+  auto traffic = opt.EdgeTraffic(*tree, flows);
+  EXPECT_DOUBLE_EQ((traffic[{0, 1}]), 100.0);
+  EXPECT_DOUBLE_EQ((traffic[{1, 2}]), 100.0);
+  EXPECT_DOUBLE_EQ((traffic[{2, 3}]), 100.0);
+}
+
+TEST(OverlayOptimizer, FlowsAccumulatePerLink) {
+  Graph g(3);
+  (void)g.AddEdge(0, 1, 1.0);
+  (void)g.AddEdge(1, 2, 1.0);
+  auto tree =
+      DisseminationTree::FromEdges(3, {Edge{0, 1, 1}, Edge{1, 2, 1}});
+  OverlayOptimizer opt(g);
+  std::vector<Flow> flows = {{0, 2, 10.0}, {1, 2, 5.0}};
+  auto traffic = opt.EdgeTraffic(*tree, flows);
+  EXPECT_DOUBLE_EQ((traffic[{0, 1}]), 10.0);
+  EXPECT_DOUBLE_EQ((traffic[{1, 2}]), 15.0);
+}
+
+TEST(OverlayOptimizer, SwapMovesHotFlowOffSlowLink) {
+  // Square: 0-1 cheap, 1-2 cheap, 0-3 cheap, 2-3 expensive; tree uses the
+  // expensive edge for a hot 0->2 flow. The optimizer should swap in 1-2.
+  Graph g(4);
+  (void)g.AddEdge(0, 1, 1.0);
+  (void)g.AddEdge(1, 2, 1.0);
+  (void)g.AddEdge(0, 3, 1.0);
+  (void)g.AddEdge(2, 3, 100.0);
+  auto tree = DisseminationTree::FromEdges(
+      4, {Edge{0, 1, 1.0}, Edge{0, 3, 1.0}, Edge{2, 3, 100.0}});
+  ASSERT_TRUE(tree.ok());
+  OverlayOptimizer opt(g);
+  std::vector<Flow> flows = {{0, 2, 1000.0}};
+  OverlayOptimizer::Stats stats;
+  auto improved = opt.Optimize(*tree, flows, &stats);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_GE(stats.swaps_applied, 1);
+  EXPECT_LT(stats.final_cost, stats.initial_cost);
+  EXPECT_TRUE(improved->HasEdge(1, 2));
+  EXPECT_FALSE(improved->HasEdge(2, 3));
+}
+
+TEST(OverlayOptimizer, ResultIsAlwaysASpanningTree) {
+  TopologyOptions topo_opts;
+  topo_opts.num_nodes = 40;
+  topo_opts.ba_edges_per_node = 3;
+  Topology topo = GenerateBarabasiAlbert(topo_opts);
+  Rng rng(8);
+  auto tree = DisseminationTree::FromEdges(
+      40, *RandomSpanningTree(topo.graph, rng));
+  ASSERT_TRUE(tree.ok());
+  std::vector<Flow> flows;
+  for (int i = 0; i < 30; ++i) {
+    flows.push_back({static_cast<NodeId>(rng.NextBounded(40)),
+                     static_cast<NodeId>(rng.NextBounded(40)),
+                     rng.NextDouble(1, 100)});
+  }
+  OverlayOptimizer opt(topo.graph);
+  auto improved = opt.Optimize(*tree, flows);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_EQ(improved->num_nodes(), 40);
+  EXPECT_EQ(improved->edges().size(), 39u);
+  // Every tree edge must exist in the overlay.
+  for (const auto& e : improved->edges()) {
+    EXPECT_TRUE(topo.graph.HasEdge(e.u, e.v));
+  }
+}
+
+TEST(OverlayOptimizer, NeverIncreasesCost) {
+  TopologyOptions topo_opts;
+  topo_opts.num_nodes = 30;
+  Topology topo = GenerateBarabasiAlbert(topo_opts);
+  Rng rng(12);
+  std::vector<Flow> flows;
+  for (int i = 0; i < 20; ++i) {
+    flows.push_back({static_cast<NodeId>(rng.NextBounded(30)),
+                     static_cast<NodeId>(rng.NextBounded(30)),
+                     rng.NextDouble(1, 100)});
+  }
+  OverlayOptimizer opt(topo.graph);
+  auto tree = DisseminationTree::FromEdges(
+      30, *RandomSpanningTree(topo.graph, rng));
+  double before = opt.TreeCost(*tree, flows);
+  auto improved = opt.Optimize(*tree, flows);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_LE(opt.TreeCost(*improved, flows), before + 1e-9);
+}
+
+TEST(OverlayOptimizer, RespectsDegreeConstraint) {
+  TopologyOptions topo_opts;
+  topo_opts.num_nodes = 30;
+  topo_opts.ba_edges_per_node = 4;
+  Topology topo = GenerateBarabasiAlbert(topo_opts);
+  Rng rng(21);
+  OptimizerOptions oopts;
+  oopts.max_degree = 3;
+  OverlayOptimizer opt(topo.graph, oopts);
+  auto mst_edges = MinimumSpanningTree(topo.graph);
+  auto tree = DisseminationTree::FromEdges(30, *mst_edges);
+  ASSERT_TRUE(tree.ok());
+  // MST may violate the degree bound already; the optimizer must not make
+  // any node exceed it through its own swaps beyond the starting tree.
+  int start_max = 0;
+  for (NodeId v = 0; v < 30; ++v) {
+    start_max = std::max(start_max, tree->Degree(v));
+  }
+  std::vector<Flow> flows;
+  for (int i = 0; i < 15; ++i) {
+    flows.push_back({static_cast<NodeId>(rng.NextBounded(30)),
+                     static_cast<NodeId>(rng.NextBounded(30)),
+                     rng.NextDouble(1, 50)});
+  }
+  auto improved = opt.Optimize(*tree, flows);
+  ASSERT_TRUE(improved.ok());
+  for (NodeId v = 0; v < 30; ++v) {
+    EXPECT_LE(improved->Degree(v), std::max(start_max, oopts.max_degree));
+  }
+}
+
+TEST(OverlayOptimizer, CustomCostFunction) {
+  Graph g(3);
+  (void)g.AddEdge(0, 1, 1.0);
+  (void)g.AddEdge(1, 2, 1.0);
+  (void)g.AddEdge(0, 2, 1.0);
+  OptimizerOptions oopts;
+  // Hop-count cost: every edge costs 1 regardless of traffic.
+  oopts.edge_cost = [](const Edge&, double) { return 1.0; };
+  OverlayOptimizer opt(g, oopts);
+  auto tree =
+      DisseminationTree::FromEdges(3, {Edge{0, 1, 1}, Edge{1, 2, 1}});
+  EXPECT_DOUBLE_EQ(opt.TreeCost(*tree, {}), 2.0);
+}
+
+}  // namespace
+}  // namespace cosmos

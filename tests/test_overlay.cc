@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "overlay/dissemination_tree.h"
+#include "overlay/spanning_tree.h"
+#include "overlay/topology.h"
+
+namespace cosmos {
+namespace {
+
+TEST(Graph, AddEdgeValidations) {
+  Graph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  EXPECT_EQ(g.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge(1, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge(0, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(0, 9).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(0, 2, -1.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Graph, NeighborsAndWeights) {
+  Graph g(3);
+  (void)g.AddEdge(0, 1, 2.5);
+  (void)g.AddEdge(1, 2, 1.5);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  auto w = g.EdgeWeight(1, 2);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(*w, 1.5);
+  EXPECT_FALSE(g.EdgeWeight(0, 2).ok());
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(2, 3);
+  EXPECT_FALSE(g.IsConnected());
+  (void)g.AddEdge(1, 2);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Graph, ShortestDistances) {
+  Graph g(4);
+  (void)g.AddEdge(0, 1, 1.0);
+  (void)g.AddEdge(1, 2, 1.0);
+  (void)g.AddEdge(0, 2, 5.0);
+  (void)g.AddEdge(2, 3, 1.0);
+  auto dist = g.ShortestDistances(0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);  // via 1, not the direct 5.0 edge
+  EXPECT_DOUBLE_EQ(dist[3], 3.0);
+}
+
+TEST(Topology, BarabasiAlbertIsConnectedAndSized) {
+  TopologyOptions opts;
+  opts.num_nodes = 200;
+  opts.ba_edges_per_node = 2;
+  Topology topo = GenerateBarabasiAlbert(opts);
+  EXPECT_EQ(topo.graph.num_nodes(), 200);
+  EXPECT_TRUE(topo.graph.IsConnected());
+  EXPECT_EQ(topo.coordinates.size(), 200u);
+  // Roughly m edges per node beyond the seed.
+  EXPECT_GE(topo.graph.num_edges(), 200u);
+}
+
+TEST(Topology, BarabasiAlbertHasHubs) {
+  TopologyOptions opts;
+  opts.num_nodes = 500;
+  opts.ba_edges_per_node = 2;
+  Topology topo = GenerateBarabasiAlbert(opts);
+  auto hist = DegreeHistogram(topo.graph);
+  int max_degree = static_cast<int>(hist.size()) - 1;
+  // Preferential attachment grows hubs far above the mean degree (~4).
+  EXPECT_GT(max_degree, 15);
+  // And most nodes stay at the minimum degree.
+  int low_degree = 0;
+  for (int d = 0; d <= 4 && d < static_cast<int>(hist.size()); ++d) {
+    low_degree += hist[d];
+  }
+  EXPECT_GT(low_degree, 250);
+}
+
+TEST(Topology, DeterministicPerSeed) {
+  TopologyOptions opts;
+  opts.num_nodes = 50;
+  Topology a = GenerateBarabasiAlbert(opts);
+  Topology b = GenerateBarabasiAlbert(opts);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (size_t i = 0; i < a.graph.edges().size(); ++i) {
+    EXPECT_EQ(a.graph.edges()[i].u, b.graph.edges()[i].u);
+    EXPECT_EQ(a.graph.edges()[i].v, b.graph.edges()[i].v);
+  }
+}
+
+TEST(Topology, WaxmanIsConnected) {
+  TopologyOptions opts;
+  opts.num_nodes = 100;
+  opts.seed = 5;
+  Topology topo = GenerateWaxman(opts);
+  EXPECT_TRUE(topo.graph.IsConnected());
+}
+
+TEST(SpanningTree, MstHasMinimalWeight) {
+  // Known graph: MST weight is 1+2+3 = 6 (skip the 10 edge).
+  Graph g(4);
+  (void)g.AddEdge(0, 1, 1.0);
+  (void)g.AddEdge(1, 2, 2.0);
+  (void)g.AddEdge(2, 3, 3.0);
+  (void)g.AddEdge(0, 3, 10.0);
+  auto mst = MinimumSpanningTree(g);
+  ASSERT_TRUE(mst.ok());
+  ASSERT_EQ(mst->size(), 3u);
+  double total = 0;
+  for (const auto& e : *mst) total += e.weight;
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+TEST(SpanningTree, MstOfDisconnectedGraphFails) {
+  Graph g(3);
+  (void)g.AddEdge(0, 1);
+  EXPECT_FALSE(MinimumSpanningTree(g).ok());
+}
+
+TEST(SpanningTree, MstWeightNoGreaterThanRandomTree) {
+  TopologyOptions opts;
+  opts.num_nodes = 120;
+  Topology topo = GenerateBarabasiAlbert(opts);
+  auto mst = MinimumSpanningTree(topo.graph);
+  ASSERT_TRUE(mst.ok());
+  Rng rng(4);
+  auto rnd = RandomSpanningTree(topo.graph, rng);
+  ASSERT_TRUE(rnd.ok());
+  double mst_w = 0, rnd_w = 0;
+  for (const auto& e : *mst) mst_w += e.weight;
+  for (const auto& e : *rnd) rnd_w += e.weight;
+  EXPECT_LE(mst_w, rnd_w + 1e-9);
+}
+
+TEST(SpanningTree, ShortestPathTreePreservesDistances) {
+  TopologyOptions opts;
+  opts.num_nodes = 60;
+  Topology topo = GenerateBarabasiAlbert(opts);
+  auto spt_edges = ShortestPathTree(topo.graph, 0);
+  ASSERT_TRUE(spt_edges.ok());
+  auto tree = DisseminationTree::FromEdges(60, *spt_edges);
+  ASSERT_TRUE(tree.ok());
+  auto dist = topo.graph.ShortestDistances(0);
+  for (NodeId v = 0; v < 60; ++v) {
+    EXPECT_NEAR(tree->WeightedDistance(0, v), dist[v], 1e-9) << v;
+  }
+}
+
+TEST(DisseminationTree, RejectsNonTrees) {
+  // Wrong edge count.
+  EXPECT_FALSE(
+      DisseminationTree::FromEdges(3, {Edge{0, 1, 1.0}}).ok());
+  // Cycle (3 edges over 3 nodes... that's n edges; use disconnected).
+  EXPECT_FALSE(DisseminationTree::FromEdges(
+                   4, {Edge{0, 1, 1}, Edge{0, 1, 1}, Edge{2, 3, 1}})
+                   .ok());
+  EXPECT_FALSE(DisseminationTree::FromEdges(
+                   4, {Edge{0, 1, 1}, Edge{1, 2, 1}, Edge{0, 2, 1}})
+                   .ok());
+  EXPECT_FALSE(DisseminationTree::FromEdges(2, {Edge{0, 0, 1}}).ok());
+}
+
+TEST(DisseminationTree, PathAndDistances) {
+  // 0 - 1 - 2
+  //     |
+  //     3
+  auto tree = DisseminationTree::FromEdges(
+      4, {Edge{0, 1, 1.0}, Edge{1, 2, 2.0}, Edge{1, 3, 3.0}});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Path(0, 2), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(tree->Path(2, 3), (std::vector<NodeId>{2, 1, 3}));
+  EXPECT_EQ(tree->Path(1, 1), (std::vector<NodeId>{1}));
+  EXPECT_EQ(tree->HopDistance(0, 3), 2);
+  EXPECT_EQ(tree->HopDistance(0, 0), 0);
+  EXPECT_DOUBLE_EQ(tree->WeightedDistance(2, 3), 5.0);
+  EXPECT_EQ(tree->NextHop(0, 3), 1);
+  EXPECT_EQ(tree->NextHop(1, 3), 3);
+  EXPECT_EQ(tree->NextHop(2, 2), 2);
+  EXPECT_DOUBLE_EQ(tree->TotalWeight(), 6.0);
+}
+
+TEST(DisseminationTree, EdgeKeyIsCanonical) {
+  EXPECT_EQ(DisseminationTree::EdgeKey(3, 1),
+            DisseminationTree::EdgeKey(1, 3));
+}
+
+TEST(DisseminationTree, SingleNodeTree) {
+  auto tree = DisseminationTree::FromEdges(1, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->HopDistance(0, 0), 0);
+}
+
+}  // namespace
+}  // namespace cosmos

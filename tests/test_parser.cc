@@ -1,0 +1,245 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos {
+namespace {
+
+ParsedQuery MustParse(const std::string& cql) {
+  auto r = ParseQuery(cql);
+  EXPECT_TRUE(r.ok()) << cql << " -> " << r.status().ToString();
+  return r.ok() ? *r : ParsedQuery{};
+}
+
+TEST(Parser, MinimalQuery) {
+  ParsedQuery q = MustParse("SELECT a FROM S");
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0].kind, SelectItem::Kind::kColumn);
+  EXPECT_EQ(q.select[0].name, "a");
+  ASSERT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.from[0].stream, "S");
+  EXPECT_TRUE(q.from[0].window.is_unbounded());  // default window
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST(Parser, SelectStarAndQualifiedStar) {
+  ParsedQuery q = MustParse("SELECT *, O.* FROM S [Now] O");
+  ASSERT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.select[0].kind, SelectItem::Kind::kStar);
+  EXPECT_EQ(q.select[1].kind, SelectItem::Kind::kQualifiedStar);
+  EXPECT_EQ(q.select[1].qualifier, "O");
+}
+
+TEST(Parser, QualifiedColumnsAndAliases) {
+  ParsedQuery q =
+      MustParse("SELECT O.itemID, price AS p FROM OpenAuction [Now] O");
+  EXPECT_EQ(q.select[0].qualifier, "O");
+  EXPECT_EQ(q.select[0].name, "itemID");
+  EXPECT_EQ(q.select[1].name, "price");
+  EXPECT_EQ(q.select[1].alias, "p");
+}
+
+TEST(Parser, WindowForms) {
+  EXPECT_TRUE(MustParse("SELECT a FROM S [Now]").from[0].window.is_now());
+  EXPECT_TRUE(
+      MustParse("SELECT a FROM S [Unbounded]").from[0].window.is_unbounded());
+  EXPECT_TRUE(MustParse("SELECT a FROM S [Range Unbounded]")
+                  .from[0]
+                  .window.is_unbounded());
+  EXPECT_EQ(MustParse("SELECT a FROM S [Range 3 Hour]").from[0].window.size,
+            3 * kHour);
+  EXPECT_EQ(
+      MustParse("SELECT a FROM S [Range 90 Seconds]").from[0].window.size,
+      90 * kSecond);
+  EXPECT_EQ(
+      MustParse("SELECT a FROM S [Range 2 Minutes]").from[0].window.size,
+      2 * kMinute);
+  EXPECT_EQ(MustParse("SELECT a FROM S [Range 1 Day]").from[0].window.size,
+            kDay);
+}
+
+TEST(Parser, WindowErrors) {
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S [Range]").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S [Range 3]").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S [Range 3 Parsecs]").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S [Soon]").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S [Now").ok());
+}
+
+TEST(Parser, MultipleFromWithAliases) {
+  ParsedQuery q = MustParse(
+      "SELECT O.a FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C");
+  ASSERT_EQ(q.from.size(), 2u);
+  EXPECT_EQ(q.from[0].alias, "O");
+  EXPECT_EQ(q.from[1].alias, "C");
+  EXPECT_EQ(q.from[0].window.size, 3 * kHour);
+  EXPECT_TRUE(q.from[1].window.is_now());
+}
+
+TEST(Parser, AliasDefaultsToStream) {
+  ParsedQuery q = MustParse("SELECT a FROM S");
+  EXPECT_EQ(q.from[0].EffectiveAlias(), "S");
+}
+
+TEST(Parser, WhereComparisons) {
+  ParsedQuery q = MustParse("SELECT a FROM S WHERE a > 10 AND b <= 2.5");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind(), ExprKind::kLogical);
+}
+
+TEST(Parser, WherePrecedenceOrBelowAnd) {
+  ParsedQuery q = MustParse("SELECT a FROM S WHERE a > 1 OR b > 2 AND c > 3");
+  // Expect OR at the top.
+  ASSERT_EQ(q.where->kind(), ExprKind::kLogical);
+  EXPECT_EQ(static_cast<const LogicalExpr&>(*q.where).op(), LogicalOp::kOr);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  ParsedQuery q =
+      MustParse("SELECT a FROM S WHERE (a > 1 OR b > 2) AND c > 3");
+  ASSERT_EQ(q.where->kind(), ExprKind::kLogical);
+  EXPECT_EQ(static_cast<const LogicalExpr&>(*q.where).op(), LogicalOp::kAnd);
+}
+
+TEST(Parser, NotParses) {
+  ParsedQuery q = MustParse("SELECT a FROM S WHERE NOT a > 1");
+  ASSERT_EQ(q.where->kind(), ExprKind::kLogical);
+  EXPECT_EQ(static_cast<const LogicalExpr&>(*q.where).op(), LogicalOp::kNot);
+}
+
+TEST(Parser, ArithmeticInWhere) {
+  ParsedQuery q = MustParse(
+      "SELECT a FROM S, T WHERE S.ts - T.ts <= 5 AND S.x * 2 > T.y / 3");
+  ASSERT_NE(q.where, nullptr);
+}
+
+TEST(Parser, ChainedComparisonDesugarsToAnd) {
+  ParsedQuery q = MustParse("SELECT a FROM S WHERE -3 <= a - b <= 0");
+  ASSERT_EQ(q.where->kind(), ExprKind::kLogical);
+  const auto& l = static_cast<const LogicalExpr&>(*q.where);
+  EXPECT_EQ(l.op(), LogicalOp::kAnd);
+  EXPECT_EQ(l.children().size(), 2u);
+}
+
+TEST(Parser, NegativeNumbersFoldIntoLiterals) {
+  ParsedQuery q = MustParse("SELECT a FROM S WHERE a > -5 AND b < -2.5");
+  EXPECT_NE(q.where, nullptr);
+}
+
+TEST(Parser, UnaryMinusOnColumn) {
+  ParsedQuery q = MustParse("SELECT a FROM S WHERE -a < 5");
+  EXPECT_NE(q.where, nullptr);
+}
+
+TEST(Parser, StringAndBoolLiterals) {
+  ParsedQuery q =
+      MustParse("SELECT a FROM S WHERE tag = 'x' AND flag = TRUE");
+  EXPECT_NE(q.where, nullptr);
+}
+
+TEST(Parser, Aggregates) {
+  ParsedQuery q = MustParse(
+      "SELECT station, COUNT(*), AVG(temp) AS mean_temp FROM S [Range 1 "
+      "Hour] GROUP BY station");
+  ASSERT_EQ(q.select.size(), 3u);
+  EXPECT_EQ(q.select[1].kind, SelectItem::Kind::kAggregate);
+  EXPECT_TRUE(q.select[1].agg_star);
+  EXPECT_EQ(q.select[1].func, AggFunc::kCount);
+  EXPECT_EQ(q.select[2].func, AggFunc::kAvg);
+  EXPECT_EQ(q.select[2].name, "temp");
+  EXPECT_EQ(q.select[2].alias, "mean_temp");
+  ASSERT_EQ(q.group_by.size(), 1u);
+}
+
+TEST(Parser, AllAggregateFunctions) {
+  ParsedQuery q = MustParse(
+      "SELECT SUM(a), MIN(a), MAX(a), COUNT(a), AVG(a) FROM S GROUP BY b");
+  EXPECT_EQ(q.select[0].func, AggFunc::kSum);
+  EXPECT_EQ(q.select[1].func, AggFunc::kMin);
+  EXPECT_EQ(q.select[2].func, AggFunc::kMax);
+  EXPECT_EQ(q.select[3].func, AggFunc::kCount);
+  EXPECT_EQ(q.select[4].func, AggFunc::kAvg);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM S").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S GROUP").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S trailing garbage !").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S WHERE a >").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S WHERE (a > 1").ok());
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  ParsedQuery q =
+      MustParse("select a from S [range 1 hour] where a > 1 group by a");
+  EXPECT_EQ(q.from[0].window.size, kHour);
+  EXPECT_NE(q.where, nullptr);
+  EXPECT_EQ(q.group_by.size(), 1u);
+}
+
+TEST(Parser, AstToStringRoundTrips) {
+  const char* queries[] = {
+      "SELECT a FROM S [Range 3 Hour]",
+      "SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID",
+      "SELECT a, COUNT(*) FROM S [Range 1 Minute] GROUP BY a",
+  };
+  for (const char* cql : queries) {
+    ParsedQuery q1 = MustParse(cql);
+    ParsedQuery q2 = MustParse(q1.ToString());
+    EXPECT_EQ(q1.ToString(), q2.ToString()) << cql;
+  }
+}
+
+TEST(Parser, BetweenDesugarsToRange) {
+  ParsedQuery q = MustParse("SELECT a FROM S WHERE a BETWEEN 5 AND 10");
+  ASSERT_EQ(q.where->kind(), ExprKind::kLogical);
+  const auto& l = static_cast<const LogicalExpr&>(*q.where);
+  EXPECT_EQ(l.op(), LogicalOp::kAnd);
+  ASSERT_EQ(l.children().size(), 2u);
+  EXPECT_EQ(l.children()[0]->ToString(), "a >= 5");
+  EXPECT_EQ(l.children()[1]->ToString(), "a <= 10");
+}
+
+TEST(Parser, BetweenComposesWithOtherPredicates) {
+  ParsedQuery q = MustParse(
+      "SELECT a FROM S WHERE a BETWEEN 5 AND 10 AND b > 2");
+  const auto& l = static_cast<const LogicalExpr&>(*q.where);
+  EXPECT_EQ(l.children().size(), 3u);  // flattened AND
+}
+
+TEST(Parser, BetweenRequiresAnd) {
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S WHERE a BETWEEN 5 10").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM S WHERE a BETWEEN 5 OR 10").ok());
+}
+
+TEST(Parser, StandaloneExpression) {
+  auto e = ParseExpression("a >= 1 AND a <= 2");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), ExprKind::kLogical);
+  EXPECT_FALSE(ParseExpression("a >= AND").ok());
+  EXPECT_FALSE(ParseExpression("a >= 1 extra").ok());
+}
+
+TEST(Parser, Table1QueriesParse) {
+  // The three queries of the paper's Table 1.
+  MustParse(
+      "SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID");
+  MustParse(
+      "SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp "
+      "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID");
+  MustParse(
+      "SELECT O.*, C.buyerID, C.timestamp "
+      "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID");
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,204 @@
+#include "core/processor.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/auction_dataset.h"
+
+namespace cosmos {
+namespace {
+
+// n0 (processor + sources) - n1 - n2, n1 - n3 (users at n2/n3).
+class ProcessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_ = std::make_unique<DisseminationTree>(
+        DisseminationTree::FromEdges(
+            4, {Edge{0, 1, 1.0}, Edge{1, 2, 1.0}, Edge{1, 3, 1.0}})
+            .value());
+    network_ = std::make_unique<ContentBasedNetwork>(*tree_);
+    AuctionDataset auctions;
+    ASSERT_TRUE(auctions.RegisterAll(catalog_).ok());
+  }
+
+  std::unique_ptr<Processor> MakeProcessor(bool merging = true) {
+    ProcessorOptions opts;
+    opts.enable_merging = merging;
+    return std::make_unique<Processor>(0, &catalog_, network_.get(), opts);
+  }
+
+  Tuple Open(int64_t item, double price, Timestamp ts) {
+    return Tuple(AuctionDataset::OpenAuctionSchema(),
+                 {Value(item), Value(int64_t{1}), Value(price),
+                  Value(static_cast<int64_t>(ts))},
+                 ts);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<DisseminationTree> tree_;
+  std::unique_ptr<ContentBasedNetwork> network_;
+};
+
+TEST_F(ProcessorTest, SubmitInstallsRepresentativeAndDelivers) {
+  auto proc = MakeProcessor();
+  int hits = 0;
+  ASSERT_TRUE(proc->SubmitQuery("q1",
+                                "SELECT itemID FROM OpenAuction WHERE "
+                                "start_price > 100",
+                                /*user_node=*/2,
+                                [&](const std::string&, const Tuple&) {
+                                  ++hits;
+                                })
+                  .ok());
+  EXPECT_EQ(proc->num_queries(), 1u);
+  EXPECT_EQ(proc->num_installed_representatives(), 1u);
+  network_->Publish(0, Datagram{"OpenAuction", Open(1, 150, 0)});
+  network_->Publish(0, Datagram{"OpenAuction", Open(2, 50, 1)});
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(ProcessorTest, BadQueryRejectedAndStateClean) {
+  auto proc = MakeProcessor();
+  EXPECT_FALSE(proc->SubmitQuery("bad", "SELECT nothing FROM nowhere", 2,
+                                 nullptr)
+                   .ok());
+  EXPECT_EQ(proc->num_queries(), 0u);
+  EXPECT_EQ(proc->grouping().num_queries(), 0u);
+}
+
+TEST_F(ProcessorTest, DuplicateIdRejected) {
+  auto proc = MakeProcessor();
+  ASSERT_TRUE(
+      proc->SubmitQuery("q", "SELECT itemID FROM OpenAuction", 2, nullptr)
+          .ok());
+  EXPECT_EQ(proc->SubmitQuery("q", "SELECT itemID FROM OpenAuction", 2,
+                              nullptr)
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ProcessorTest, MergedQueriesShareOneRepresentative) {
+  auto proc = MakeProcessor(/*merging=*/true);
+  int hits2 = 0, hits3 = 0;
+  ASSERT_TRUE(proc->SubmitQuery("q1",
+                                "SELECT itemID, start_price FROM "
+                                "OpenAuction WHERE "
+                                "start_price >= 100 AND start_price <= 500",
+                                2,
+                                [&](const std::string&, const Tuple&) {
+                                  ++hits2;
+                                })
+                  .ok());
+  ASSERT_TRUE(proc->SubmitQuery("q2",
+                                "SELECT itemID, start_price FROM "
+                                "OpenAuction WHERE "
+                                "start_price >= 300 AND start_price <= 800",
+                                3,
+                                [&](const std::string&, const Tuple&) {
+                                  ++hits3;
+                                })
+                  .ok());
+  EXPECT_EQ(proc->grouping().num_groups(), 1u);
+  EXPECT_EQ(proc->num_installed_representatives(), 1u);
+
+  network_->Publish(0, Datagram{"OpenAuction", Open(1, 200, 0)});  // q1 only
+  network_->Publish(0, Datagram{"OpenAuction", Open(2, 400, 1)});  // both
+  network_->Publish(0, Datagram{"OpenAuction", Open(3, 700, 2)});  // q2 only
+  network_->Publish(0, Datagram{"OpenAuction", Open(4, 900, 3)});  // neither
+  EXPECT_EQ(hits2, 2);
+  EXPECT_EQ(hits3, 2);
+}
+
+TEST_F(ProcessorTest, UnmergedProcessorKeepsQueriesSeparate) {
+  auto proc = MakeProcessor(/*merging=*/false);
+  ASSERT_TRUE(proc->SubmitQuery("q1", "SELECT itemID FROM OpenAuction", 2,
+                                nullptr)
+                  .ok());
+  ASSERT_TRUE(proc->SubmitQuery("q2", "SELECT itemID FROM OpenAuction", 3,
+                                nullptr)
+                  .ok());
+  EXPECT_EQ(proc->grouping().num_groups(), 2u);
+  EXPECT_EQ(proc->num_installed_representatives(), 2u);
+}
+
+TEST_F(ProcessorTest, LateJoinerStillGetsOnlyItsResults) {
+  auto proc = MakeProcessor();
+  int hits_q1 = 0, hits_q2 = 0;
+  ASSERT_TRUE(proc->SubmitQuery("q1",
+                                "SELECT itemID, start_price FROM "
+                                "OpenAuction WHERE "
+                                "start_price >= 100 AND start_price <= 200",
+                                2,
+                                [&](const std::string&, const Tuple&) {
+                                  ++hits_q1;
+                                })
+                  .ok());
+  network_->Publish(0, Datagram{"OpenAuction", Open(1, 150, 0)});
+  EXPECT_EQ(hits_q1, 1);
+  // Second query widens the group (version bump + resubscription of q1).
+  ASSERT_TRUE(proc->SubmitQuery("q2",
+                                "SELECT itemID, start_price FROM "
+                                "OpenAuction WHERE "
+                                "start_price >= 150 AND start_price <= 400",
+                                3,
+                                [&](const std::string&, const Tuple&) {
+                                  ++hits_q2;
+                                })
+                  .ok());
+  network_->Publish(0, Datagram{"OpenAuction", Open(2, 180, 1)});  // both
+  network_->Publish(0, Datagram{"OpenAuction", Open(3, 300, 2)});  // q2 only
+  EXPECT_EQ(hits_q1, 2);
+  EXPECT_EQ(hits_q2, 2);
+}
+
+TEST_F(ProcessorTest, RemoveQueryStopsItsDeliveries) {
+  auto proc = MakeProcessor();
+  int hits1 = 0, hits2 = 0;
+  ASSERT_TRUE(proc->SubmitQuery(
+                      "q1", "SELECT itemID FROM OpenAuction", 2,
+                      [&](const std::string&, const Tuple&) { ++hits1; })
+                  .ok());
+  ASSERT_TRUE(proc->SubmitQuery(
+                      "q2", "SELECT itemID FROM OpenAuction", 3,
+                      [&](const std::string&, const Tuple&) { ++hits2; })
+                  .ok());
+  ASSERT_TRUE(proc->RemoveQuery("q1").ok());
+  EXPECT_EQ(proc->RemoveQuery("q1").code(), StatusCode::kNotFound);
+  network_->Publish(0, Datagram{"OpenAuction", Open(1, 10, 0)});
+  EXPECT_EQ(hits1, 0);
+  EXPECT_EQ(hits2, 1);
+}
+
+TEST_F(ProcessorTest, RemovingLastQueryTearsDownEverything) {
+  auto proc = MakeProcessor();
+  ASSERT_TRUE(proc->SubmitQuery("q", "SELECT itemID FROM OpenAuction", 2,
+                                nullptr)
+                  .ok());
+  ASSERT_TRUE(proc->RemoveQuery("q").ok());
+  EXPECT_EQ(proc->num_installed_representatives(), 0u);
+  // No dangling subscriptions: publishing moves no bytes.
+  network_->ResetStats();
+  network_->Publish(0, Datagram{"OpenAuction", Open(1, 10, 0)});
+  EXPECT_EQ(network_->total_bytes(), 0u);
+  EXPECT_EQ(network_->total_deliveries(), 0u);
+}
+
+TEST_F(ProcessorTest, SourceSubscriptionIsShared) {
+  // Two singleton groups over the same stream: the processor holds one
+  // merged source subscription, so each source tuple enters the SPE once.
+  auto proc = MakeProcessor(/*merging=*/false);
+  int hits1 = 0, hits2 = 0;
+  ASSERT_TRUE(proc->SubmitQuery(
+                      "q1", "SELECT itemID FROM OpenAuction", 2,
+                      [&](const std::string&, const Tuple&) { ++hits1; })
+                  .ok());
+  ASSERT_TRUE(proc->SubmitQuery(
+                      "q2", "SELECT itemID FROM OpenAuction", 3,
+                      [&](const std::string&, const Tuple&) { ++hits2; })
+                  .ok());
+  network_->Publish(0, Datagram{"OpenAuction", Open(1, 10, 0)});
+  EXPECT_EQ(hits1, 1);  // not 2: no duplicate source delivery
+  EXPECT_EQ(hits2, 1);
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,162 @@
+#include "core/profile_composer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/merger.h"
+#include "stream/auction_dataset.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+class ProfileComposerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AuctionDataset auctions;
+    ASSERT_TRUE(auctions.RegisterAll(catalog_).ok());
+    SensorDataset sensors;
+    ASSERT_TRUE(sensors.RegisterAll(catalog_).ok());
+  }
+
+  AnalyzedQuery Q(const std::string& cql, const std::string& name = "r") {
+    auto q = ParseAndAnalyze(cql, catalog_, name);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ProfileComposerTest, SourceProfileMatchesPaperExample) {
+  // Paper §4: SELECT R.A, S.C FROM R [Now], S [Now]
+  //           WHERE R.B = S.B AND R.A > 10
+  // => S = {R, S}, P = {R.A, R.B, S.B, S.C}, F = {R.A > 10}.
+  Catalog catalog;
+  (void)catalog.RegisterStream(std::make_shared<Schema>(
+      "R", std::vector<AttributeDef>{{"A", ValueType::kDouble, 0, 100},
+                                     {"B", ValueType::kInt64, 0, 100},
+                                     {"Z", ValueType::kDouble}}));
+  (void)catalog.RegisterStream(std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"B", ValueType::kInt64, 0, 100},
+                                     {"C", ValueType::kDouble},
+                                     {"W", ValueType::kDouble}}));
+  auto q = ParseAndAnalyze(
+      "SELECT R.A, S.C FROM R [Now], S [Now] WHERE R.B = S.B AND R.A > 10",
+      catalog, "res");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  Profile p = ComposeSourceProfile(*q);
+  EXPECT_TRUE(p.WantsStream("R"));
+  EXPECT_TRUE(p.WantsStream("S"));
+  auto pr = p.ProjectionOf("R");
+  EXPECT_EQ(pr.size(), 2u);  // A, B — not Z
+  auto ps = p.ProjectionOf("S");
+  EXPECT_EQ(ps.size(), 2u);  // B, C — not W
+  ASSERT_EQ(p.filters().size(), 1u);
+  EXPECT_EQ(p.filters()[0].stream(), "R");
+  EXPECT_EQ(p.filters()[0].clause().ConstraintFor("A").interval,
+            Interval::AtLeast(10, /*open=*/true));
+}
+
+TEST_F(ProfileComposerTest, SourceProfileNoFilterWhenNoSelection) {
+  AnalyzedQuery q = Q("SELECT itemID FROM OpenAuction");
+  Profile p = ComposeSourceProfile(q);
+  EXPECT_TRUE(p.filters().empty());
+  EXPECT_EQ(p.ProjectionOf("OpenAuction").size(), 1u);
+}
+
+TEST_F(ProfileComposerTest, WholeStreamProfile) {
+  Profile p = ComposeWholeStreamProfile("result_q1");
+  EXPECT_TRUE(p.WantsStream("result_q1"));
+  EXPECT_TRUE(p.filters().empty());
+  EXPECT_TRUE(p.ProjectionOf("result_q1").empty());
+}
+
+TEST_F(ProfileComposerTest, UserProfileReproducesPaperP1P2) {
+  // Paper §4's p1/p2 example: users re-tighten the q3 result stream.
+  AnalyzedQuery q1 = Q(
+      "SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID",
+      "r1");
+  AnalyzedQuery q2 = Q(
+      "SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp "
+      "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+      "WHERE O.itemID = C.itemID",
+      "r2");
+  auto rep = ComposeRepresentative({&q1, &q2}, catalog_, "s3");
+  ASSERT_TRUE(rep.ok());
+
+  auto p1 = ComposeUserProfile(q1, *rep);
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  // S = {s3}.
+  EXPECT_TRUE(p1->WantsStream("s3"));
+  EXPECT_EQ(p1->streams().size(), 1u);
+  // P = O.* — four O columns.
+  EXPECT_EQ(p1->ProjectionOf("s3").size(), 4u);
+  // F includes the window re-tightening residual (q1 has a tighter O
+  // window than the representative).
+  ASSERT_EQ(p1->filters().size(), 1u);
+  EXPECT_FALSE(p1->filters()[0].clause().residual().empty());
+
+  auto p2 = ComposeUserProfile(q2, *rep);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->ProjectionOf("s3").size(), 4u);
+  // q2's windows equal the representative's: no filter needed.
+  EXPECT_TRUE(p2->filters().empty());
+}
+
+TEST_F(ProfileComposerTest, UserProfileReimposesSelectionConstraints) {
+  AnalyzedQuery q1 = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "10 AND relative_humidity <= 40",
+      "r1");
+  AnalyzedQuery q2 = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "30 AND relative_humidity <= 80",
+      "r2");
+  auto rep = ComposeRepresentative({&q1, &q2}, catalog_, "grp");
+  ASSERT_TRUE(rep.ok());
+  auto p1 = ComposeUserProfile(q1, *rep);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_EQ(p1->filters().size(), 1u);
+  EXPECT_EQ(
+      p1->filters()[0].clause().ConstraintFor("relative_humidity").interval,
+      Interval(10, false, 40, false));
+}
+
+TEST_F(ProfileComposerTest, UserProfileSkipsConstraintsRepEnforces) {
+  AnalyzedQuery q1 = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity <= "
+      "40",
+      "r1");
+  auto rep = ComposeRepresentative({&q1}, catalog_, "grp");
+  ASSERT_TRUE(rep.ok());
+  auto p = ComposeUserProfile(q1, *rep);
+  ASSERT_TRUE(p.ok());
+  // The singleton representative enforces exactly the member's selection:
+  // nothing to re-tighten.
+  EXPECT_TRUE(p->filters().empty());
+}
+
+TEST_F(ProfileComposerTest, AggregateUserProfileTakesWholeRow) {
+  AnalyzedQuery q = Q(
+      "SELECT station_id, AVG(ambient_temperature) FROM sensor_00 "
+      "[Range 1 Hour] GROUP BY station_id",
+      "r1");
+  auto rep = ComposeRepresentative({&q}, catalog_, "grp");
+  ASSERT_TRUE(rep.ok());
+  auto p = ComposeUserProfile(q, *rep);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->ProjectionOf("grp").empty());  // all attributes
+  EXPECT_TRUE(p->filters().empty());
+}
+
+TEST_F(ProfileComposerTest, MismatchedStreamsRejected) {
+  AnalyzedQuery a = Q("SELECT itemID FROM OpenAuction", "r1");
+  AnalyzedQuery b = Q("SELECT itemID FROM ClosedAuction", "r2");
+  auto p = ComposeUserProfile(a, b);
+  EXPECT_FALSE(p.ok());
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,85 @@
+// Disjunctive source profiles: WHERE clauses with OR expand into multiple
+// conjunctive filters (paper §3.1: F is a disjunction of filters).
+
+#include <gtest/gtest.h>
+
+#include "core/profile_composer.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+class ProfileDnfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SensorDataset sensors;
+    ASSERT_TRUE(sensors.RegisterAll(catalog_).ok());
+  }
+
+  AnalyzedQuery Q(const std::string& cql) {
+    auto q = ParseAndAnalyze(cql, catalog_, "r");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  Datagram Reading(double temp) {
+    SensorDataset sensors;
+    auto schema = sensors.SchemaOf(0);
+    std::vector<Value> values;
+    for (const auto& def : schema->attributes()) {
+      if (def.name == "ambient_temperature") {
+        values.emplace_back(temp);
+      } else if (def.type == ValueType::kInt64) {
+        values.emplace_back(int64_t{0});
+      } else {
+        values.emplace_back(10.0);
+      }
+    }
+    return Datagram{"sensor_00", Tuple(schema, std::move(values), 0)};
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ProfileDnfTest, OrPredicateBecomesTwoFilters) {
+  AnalyzedQuery q = Q(
+      "SELECT ambient_temperature FROM sensor_00 WHERE "
+      "ambient_temperature < 0 OR ambient_temperature > 30");
+  Profile p = ComposeSourceProfile(q);
+  EXPECT_EQ(p.filters().size(), 2u);
+  EXPECT_TRUE(p.Covers(Reading(-5)));
+  EXPECT_TRUE(p.Covers(Reading(35)));
+  EXPECT_FALSE(p.Covers(Reading(15)));
+}
+
+TEST_F(ProfileDnfTest, NestedDisjunctionDistributes) {
+  AnalyzedQuery q = Q(
+      "SELECT ambient_temperature FROM sensor_00 WHERE "
+      "(ambient_temperature < 0 OR ambient_temperature > 30) AND "
+      "(relative_humidity < 20 OR relative_humidity > 80)");
+  Profile p = ComposeSourceProfile(q);
+  EXPECT_EQ(p.filters().size(), 4u);
+}
+
+TEST_F(ProfileDnfTest, PlainConjunctionStaysSingleFilter) {
+  AnalyzedQuery q = Q(
+      "SELECT ambient_temperature FROM sensor_00 WHERE "
+      "ambient_temperature >= 0 AND ambient_temperature <= 30");
+  Profile p = ComposeSourceProfile(q);
+  EXPECT_EQ(p.filters().size(), 1u);
+}
+
+TEST_F(ProfileDnfTest, CoverageMatchesPredicateSemantics) {
+  AnalyzedQuery q = Q(
+      "SELECT ambient_temperature FROM sensor_00 WHERE "
+      "(ambient_temperature >= 0 AND ambient_temperature <= 10) OR "
+      "ambient_temperature >= 30");
+  Profile p = ComposeSourceProfile(q);
+  for (double t = -10; t <= 35; t += 2.5) {
+    bool expected = (t >= 0 && t <= 10) || t >= 30;
+    EXPECT_EQ(p.Covers(Reading(t)), expected) << "temp=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace cosmos

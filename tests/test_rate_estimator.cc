@@ -1,0 +1,140 @@
+#include "core/rate_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "stream/auction_dataset.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+class RateEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AuctionDataset auctions;
+    ASSERT_TRUE(auctions.RegisterAll(catalog_).ok());
+    SensorDataset sensors;  // rate 1/30s
+    ASSERT_TRUE(sensors.RegisterAll(catalog_).ok());
+    ASSERT_TRUE(catalog_.UpdateRate("sensor_00", 10.0).ok());
+  }
+
+  AnalyzedQuery Q(const std::string& cql) {
+    auto q = ParseAndAnalyze(cql, catalog_, "r");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(RateEstimatorTest, UnfilteredRateIsStreamRate) {
+  RateEstimator est(&catalog_);
+  AnalyzedQuery q = Q("SELECT ambient_temperature FROM sensor_00");
+  EXPECT_DOUBLE_EQ(est.EstimateTupleRate(q), 10.0);
+}
+
+TEST_F(RateEstimatorTest, SelectionScalesRate) {
+  RateEstimator est(&catalog_);
+  // ambient_temperature range is [-10, 35]; [0, 12.5] is 27.8% of it... use
+  // exact halves: hum [0,100], take [0,50].
+  AnalyzedQuery q = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= 0 "
+      "AND relative_humidity <= 50");
+  EXPECT_NEAR(est.EstimateTupleRate(q), 5.0, 1e-9);
+}
+
+TEST_F(RateEstimatorTest, TighterSelectionMeansLowerRate) {
+  RateEstimator est(&catalog_);
+  AnalyzedQuery wide = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity <= "
+      "80");
+  AnalyzedQuery narrow = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity <= "
+      "20");
+  EXPECT_GT(est.EstimateTupleRate(wide), est.EstimateTupleRate(narrow));
+}
+
+TEST_F(RateEstimatorTest, OutputRateScalesWithRowWidth) {
+  RateEstimator est(&catalog_);
+  AnalyzedQuery narrow = Q("SELECT ambient_temperature FROM sensor_00");
+  AnalyzedQuery wide = Q(
+      "SELECT ambient_temperature, relative_humidity, wind_speed FROM "
+      "sensor_00");
+  EXPECT_GT(est.EstimateOutputRate(wide), est.EstimateOutputRate(narrow));
+  EXPECT_DOUBLE_EQ(est.EstimateTupleRate(wide),
+                   est.EstimateTupleRate(narrow));
+}
+
+TEST_F(RateEstimatorTest, JoinRateGrowsWithWindows) {
+  RateEstimator est(&catalog_);
+  AnalyzedQuery small = Q(
+      "SELECT O.itemID FROM OpenAuction [Range 1 Hour] O, ClosedAuction "
+      "[Now] C WHERE O.itemID = C.itemID");
+  AnalyzedQuery big = Q(
+      "SELECT O.itemID FROM OpenAuction [Range 5 Hour] O, ClosedAuction "
+      "[Now] C WHERE O.itemID = C.itemID");
+  EXPECT_GT(est.EstimateTupleRate(big), est.EstimateTupleRate(small));
+}
+
+TEST_F(RateEstimatorTest, MergeBenefitPositiveForOverlappingQueries) {
+  RateEstimator est(&catalog_);
+  AnalyzedQuery q1 = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "10 AND relative_humidity <= 60");
+  AnalyzedQuery q2 = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "20 AND relative_humidity <= 70");
+  // A representative covering [10, 70] is cheaper than both separately.
+  AnalyzedQuery rep = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "10 AND relative_humidity <= 70");
+  EXPECT_GT(est.MergeBenefit({&q1, &q2}, rep), 0.0);
+}
+
+TEST_F(RateEstimatorTest, MergeBenefitNegativeForDisjointQueries) {
+  RateEstimator est(&catalog_);
+  AnalyzedQuery q1 = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "0 AND relative_humidity <= 10");
+  AnalyzedQuery q2 = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "90 AND relative_humidity <= 100");
+  AnalyzedQuery hull = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "0 AND relative_humidity <= 100");
+  EXPECT_LT(est.MergeBenefit({&q1, &q2}, hull), 1e-9);
+}
+
+TEST_F(RateEstimatorTest, FastMergedEstimateTracksExactComposition) {
+  RateEstimator est(&catalog_);
+  AnalyzedQuery a = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "10 AND relative_humidity <= 60");
+  AnalyzedQuery b = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "20 AND relative_humidity <= 70");
+  auto align = AlignSources(b, a);
+  ASSERT_TRUE(align.has_value());
+  double fast = est.EstimateMergedOutputRate(a, b, *align);
+  // Exact: hull selects [10,70] = 60% of the range, rate 6 tuples/s; the
+  // merged projection carries relative_humidity only.
+  AnalyzedQuery exact = Q(
+      "SELECT relative_humidity FROM sensor_00 WHERE relative_humidity >= "
+      "10 AND relative_humidity <= 70");
+  double exact_rate = est.EstimateOutputRate(exact);
+  EXPECT_NEAR(fast, exact_rate, exact_rate * 0.05);
+}
+
+TEST_F(RateEstimatorTest, UnknownStreamDefaultsGracefully) {
+  Catalog empty;
+  (void)empty.RegisterStream(std::make_shared<Schema>(
+      "T", std::vector<AttributeDef>{{"x", ValueType::kInt64}}));
+  RateEstimator est(&empty);
+  auto q = ParseAndAnalyze("SELECT x FROM T", empty, "r");
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(est.EstimateOutputRate(*q), 0.0);
+}
+
+}  // namespace
+}  // namespace cosmos

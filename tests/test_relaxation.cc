@@ -1,0 +1,173 @@
+#include "expr/relaxation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "expr/implication.h"
+#include "query/parser.h"
+
+namespace cosmos {
+namespace {
+
+ConjunctiveClause Parse(const std::string& text) {
+  auto expr = ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto clause = ClauseFromExpr(*expr);
+  EXPECT_TRUE(clause.ok());
+  return *clause;
+}
+
+TEST(Relaxation, HullOfOverlappingRanges) {
+  ConjunctiveClause h = ClauseHull(Parse("a >= 10 AND a <= 20"),
+                                   Parse("a >= 15 AND a <= 25"));
+  EXPECT_EQ(h.ConstraintFor("a").interval, Interval(10, false, 25, false));
+}
+
+TEST(Relaxation, AttributeConstrainedOnOneSideIsDropped) {
+  ConjunctiveClause h =
+      ClauseHull(Parse("a >= 10 AND b > 0"), Parse("a >= 5"));
+  EXPECT_FALSE(h.ConstraintFor("a").interval.IsAll());
+  EXPECT_TRUE(h.ConstraintFor("b").IsUnconstrained());
+}
+
+TEST(Relaxation, EqualEqualitiesKept) {
+  ConjunctiveClause h = ClauseHull(Parse("tag = 'x' AND a > 1"),
+                                   Parse("tag = 'x' AND a > 5"));
+  ASSERT_TRUE(h.ConstraintFor("tag").eq.has_value());
+  EXPECT_EQ(h.ConstraintFor("tag").eq->AsString(), "x");
+}
+
+TEST(Relaxation, DifferentEqualitiesDropped) {
+  ConjunctiveClause h = ClauseHull(Parse("tag = 'x'"), Parse("tag = 'y'"));
+  EXPECT_FALSE(h.ConstraintFor("tag").eq.has_value());
+}
+
+TEST(Relaxation, CommonDisequalitiesKept) {
+  ConjunctiveClause h = ClauseHull(Parse("tag != 'x' AND tag != 'y'"),
+                                   Parse("tag != 'x'"));
+  ASSERT_EQ(h.ConstraintFor("tag").neq.size(), 1u);
+  EXPECT_EQ(h.ConstraintFor("tag").neq[0].AsString(), "x");
+}
+
+TEST(Relaxation, SharedResidualsKept) {
+  ConjunctiveClause h = ClauseHull(Parse("a > b AND a >= 0"),
+                                   Parse("a > b AND a >= 5"));
+  EXPECT_EQ(h.residual().size(), 1u);
+  ConjunctiveClause h2 =
+      ClauseHull(Parse("a > b AND a >= 0"), Parse("a >= 5"));
+  EXPECT_TRUE(h2.residual().empty());
+}
+
+TEST(Relaxation, UnsatisfiableSideIsIdentity) {
+  ConjunctiveClause sat = Parse("a >= 0 AND a <= 1");
+  ConjunctiveClause unsat = Parse("a > 5 AND a < 1");
+  ConjunctiveClause h = ClauseHull(sat, unsat);
+  EXPECT_TRUE(ClauseImplies(h, sat));
+  EXPECT_TRUE(ClauseImplies(sat, h));
+}
+
+TEST(Relaxation, HullManyFoldsAll) {
+  std::vector<ConjunctiveClause> cs = {
+      Parse("a >= 0 AND a <= 1"),
+      Parse("a >= 2 AND a <= 3"),
+      Parse("a >= 4 AND a <= 5"),
+  };
+  ConjunctiveClause h = ClauseHullMany(cs);
+  EXPECT_EQ(h.ConstraintFor("a").interval, Interval(0, false, 5, false));
+  EXPECT_TRUE(ClauseHullMany({}).IsTautology());
+}
+
+TEST(Relaxation, ExactnessDetection) {
+  EXPECT_TRUE(ClauseHullIsExact(Parse("a >= 0 AND a <= 2"),
+                                Parse("a >= 1 AND a <= 3")));
+  EXPECT_FALSE(ClauseHullIsExact(Parse("a >= 0 AND a <= 1"),
+                                 Parse("a >= 4 AND a <= 5")));
+  // One clause containing the other is always exact.
+  EXPECT_TRUE(ClauseHullIsExact(Parse("a >= 0 AND a <= 10"),
+                                Parse("a >= 2 AND a <= 3")));
+  // Two attributes differing with neither box containing the other: the
+  // box hull admits corner points outside the union.
+  EXPECT_FALSE(ClauseHullIsExact(Parse("a <= 1 AND b >= 1"),
+                                 Parse("a <= 2 AND b >= 2")));
+}
+
+// ---- randomized property: the hull is implied by both inputs ----
+
+class RelaxationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+ConjunctiveClause RandomClause(Rng& rng) {
+  ConjunctiveClause c;
+  const char* attrs[] = {"a", "b"};
+  int n = 1 + static_cast<int>(rng.NextBounded(2));
+  for (int i = 0; i < n; ++i) {
+    const char* attr = attrs[rng.NextBounded(2)];
+    double lo = rng.NextInt(-5, 5);
+    double hi = rng.NextInt(-5, 5);
+    if (hi < lo) std::swap(lo, hi);
+    c.ConstrainInterval(attr,
+                        Interval(lo, rng.NextBool(), hi, rng.NextBool()));
+  }
+  return c;
+}
+
+TEST_P(RelaxationPropertyTest, BothSidesImplyHull) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    ConjunctiveClause a = RandomClause(rng);
+    ConjunctiveClause b = RandomClause(rng);
+    ConjunctiveClause h = ClauseHull(a, b);
+    EXPECT_TRUE(ClauseImplies(a, h))
+        << a.ToString() << " !=> hull " << h.ToString();
+    EXPECT_TRUE(ClauseImplies(b, h))
+        << b.ToString() << " !=> hull " << h.ToString();
+  }
+}
+
+TEST_P(RelaxationPropertyTest, HullAcceptsUnionOnSamples) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  auto schema = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"a", ValueType::kDouble},
+                                     {"b", ValueType::kDouble}});
+  for (int iter = 0; iter < 100; ++iter) {
+    ConjunctiveClause a = RandomClause(rng);
+    ConjunctiveClause b = RandomClause(rng);
+    ConjunctiveClause h = ClauseHull(a, b);
+    for (double x = -6; x <= 6; x += 1.5) {
+      for (double y = -6; y <= 6; y += 1.5) {
+        Tuple t(schema, {Value(x), Value(y)}, 0);
+        if (a.MatchesCanonical(t) || b.MatchesCanonical(t)) {
+          EXPECT_TRUE(h.MatchesCanonical(t))
+              << "hull misses (" << x << "," << y << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RelaxationPropertyTest, ExactHullAddsNothingOnSamples) {
+  Rng rng(GetParam() ^ 0xE0);
+  auto schema = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"a", ValueType::kDouble},
+                                     {"b", ValueType::kDouble}});
+  for (int iter = 0; iter < 100; ++iter) {
+    ConjunctiveClause a = RandomClause(rng);
+    ConjunctiveClause b = RandomClause(rng);
+    if (!ClauseHullIsExact(a, b)) continue;
+    ConjunctiveClause h = ClauseHull(a, b);
+    for (double x = -6; x <= 6; x += 1.5) {
+      for (double y = -6; y <= 6; y += 1.5) {
+        Tuple t(schema, {Value(x), Value(y)}, 0);
+        EXPECT_EQ(h.MatchesCanonical(t),
+                  a.MatchesCanonical(t) || b.MatchesCanonical(t))
+            << "exact hull differs from union at (" << x << "," << y << ")\n"
+            << "a: " << a.ToString() << "\nb: " << b.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelaxationPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,125 @@
+// The CBN under the discrete-event simulator: link delays, in-flight
+// ordering, and end-to-end latency accounting.
+
+#include <gtest/gtest.h>
+
+#include "cbn/network.h"
+
+namespace cosmos {
+namespace {
+
+std::shared_ptr<const Schema> SensorSchema() {
+  return std::make_shared<Schema>(
+      "s", std::vector<AttributeDef>{{"temp", ValueType::kDouble, -10, 40}});
+}
+
+Datagram MakeDatagram(double temp, Timestamp ts = 0) {
+  return Datagram{"s", Tuple(SensorSchema(), {Value(temp)}, ts)};
+}
+
+TEST(SimulatedCbn, DeliveryTimeIsPathDelay) {
+  // Chain with heterogeneous delays: 0 -(2ms)- 1 -(5ms)- 2 -(1ms)- 3.
+  Simulator sim;
+  auto tree = DisseminationTree::FromEdges(
+                  4, {Edge{0, 1, 2.0}, Edge{1, 2, 5.0}, Edge{2, 3, 1.0}})
+                  .value();
+  ContentBasedNetwork net(std::move(tree), NetworkOptions{}, &sim);
+  std::vector<Timestamp> at;
+  Profile p;
+  p.AddStream("s");
+  net.Subscribe(3, p, [&](const std::string&, const Tuple&) {
+    at.push_back(sim.now());
+  });
+  net.Publish(0, MakeDatagram(1));
+  sim.Run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 8 * kMillisecond);
+}
+
+TEST(SimulatedCbn, IntermediateSubscriberSeesItEarlier) {
+  Simulator sim;
+  auto tree = DisseminationTree::FromEdges(
+                  3, {Edge{0, 1, 3.0}, Edge{1, 2, 4.0}})
+                  .value();
+  ContentBasedNetwork net(std::move(tree), NetworkOptions{}, &sim);
+  std::map<NodeId, Timestamp> at;
+  Profile p;
+  p.AddStream("s");
+  net.Subscribe(1, p, [&](const std::string&, const Tuple&) {
+    at[1] = sim.now();
+  });
+  net.Subscribe(2, p, [&](const std::string&, const Tuple&) {
+    at[2] = sim.now();
+  });
+  net.Publish(0, MakeDatagram(1));
+  sim.Run();
+  EXPECT_EQ(at[1], 3 * kMillisecond);
+  EXPECT_EQ(at[2], 7 * kMillisecond);
+}
+
+TEST(SimulatedCbn, PublishesInterleaveByDelay) {
+  // Two publishers at different distances from the subscriber: arrival
+  // order at the subscriber follows delay, not publish order.
+  Simulator sim;
+  auto tree = DisseminationTree::FromEdges(
+                  3, {Edge{0, 2, 10.0}, Edge{1, 2, 1.0}})
+                  .value();
+  ContentBasedNetwork net(std::move(tree), NetworkOptions{}, &sim);
+  std::vector<double> order;
+  Profile p;
+  p.AddStream("s");
+  net.Subscribe(2, p, [&](const std::string&, const Tuple& t) {
+    order.push_back(t.value(0).AsDouble());
+  });
+  net.Publish(0, MakeDatagram(111));  // far: arrives at 10ms
+  net.Publish(1, MakeDatagram(222));  // near: arrives at 1ms
+  sim.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_DOUBLE_EQ(order[0], 222.0);
+  EXPECT_DOUBLE_EQ(order[1], 111.0);
+}
+
+TEST(SimulatedCbn, NothingMovesUntilTheClockRuns) {
+  Simulator sim;
+  auto tree =
+      DisseminationTree::FromEdges(2, {Edge{0, 1, 1.0}}).value();
+  ContentBasedNetwork net(std::move(tree), NetworkOptions{}, &sim);
+  int hits = 0;
+  Profile p;
+  p.AddStream("s");
+  net.Subscribe(1, p, [&](const std::string&, const Tuple&) { ++hits; });
+  net.Publish(0, MakeDatagram(1));
+  EXPECT_EQ(hits, 0);
+  EXPECT_TRUE(sim.HasPendingEvents());
+  sim.Run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SimulatedCbn, ByteAccountingIdenticalToSynchronousMode) {
+  auto make_tree = [] {
+    return DisseminationTree::FromEdges(
+               4, {Edge{0, 1, 2.0}, Edge{1, 2, 3.0}, Edge{1, 3, 4.0}})
+        .value();
+  };
+  Profile p;
+  p.AddStream("s");
+
+  ContentBasedNetwork sync_net(make_tree());
+  sync_net.Subscribe(2, p, nullptr);
+  sync_net.Subscribe(3, p, nullptr);
+  sync_net.Publish(0, MakeDatagram(1));
+
+  Simulator sim;
+  ContentBasedNetwork sim_net(make_tree(), NetworkOptions{}, &sim);
+  sim_net.Subscribe(2, p, nullptr);
+  sim_net.Subscribe(3, p, nullptr);
+  sim_net.Publish(0, MakeDatagram(1));
+  sim.Run();
+
+  EXPECT_EQ(sync_net.total_bytes(), sim_net.total_bytes());
+  EXPECT_EQ(sync_net.total_deliveries(), sim_net.total_deliveries());
+  EXPECT_EQ(sync_net.link_stats().size(), sim_net.link_stats().size());
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,14 @@
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace cosmos {
+namespace {
+
+TEST(Smoke, LibrariesLink) {
+  Status s = Status::OK();
+  EXPECT_TRUE(s.ok());
+}
+
+}  // namespace
+}  // namespace cosmos

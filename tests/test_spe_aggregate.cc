@@ -1,0 +1,136 @@
+#include "spe/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos {
+namespace {
+
+std::shared_ptr<const Schema> InSchema() {
+  return std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"g", ValueType::kInt64},
+                                     {"v", ValueType::kDouble}});
+}
+
+std::shared_ptr<const Schema> OutSchema(const char* agg_name,
+                                        ValueType agg_type) {
+  return std::make_shared<Schema>(
+      "out", std::vector<AttributeDef>{{"g", ValueType::kInt64},
+                                       {agg_name, agg_type}});
+}
+
+Tuple In(int64_t g, double v, Timestamp ts) {
+  return Tuple(InSchema(), {Value(g), Value(v)}, ts);
+}
+
+TEST(WindowAggregate, CountPerGroup) {
+  WindowAggregateOperator agg(kInfiniteDuration, {0},
+                              {{AggFunc::kCount, true, 0}},
+                              OutSchema("cnt", ValueType::kInt64));
+  std::vector<Tuple> out;
+  agg.SetSink([&](const Tuple& t) { out.push_back(t); });
+  agg.Push(0, In(1, 0, 0));
+  agg.Push(0, In(1, 0, 1));
+  agg.Push(0, In(2, 0, 2));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].value(1).AsInt64(), 1);
+  EXPECT_EQ(out[1].value(1).AsInt64(), 2);
+  EXPECT_EQ(out[2].value(1).AsInt64(), 1);  // group 2
+  EXPECT_EQ(agg.num_groups(), 2u);
+}
+
+TEST(WindowAggregate, SumAndAvg) {
+  WindowAggregateOperator agg(
+      kInfiniteDuration, {0},
+      {{AggFunc::kSum, false, 1}, {AggFunc::kAvg, false, 1}},
+      std::make_shared<Schema>(
+          "out", std::vector<AttributeDef>{{"g", ValueType::kInt64},
+                                           {"s", ValueType::kDouble},
+                                           {"a", ValueType::kDouble}}));
+  std::vector<Tuple> out;
+  agg.SetSink([&](const Tuple& t) { out.push_back(t); });
+  agg.Push(0, In(1, 10, 0));
+  agg.Push(0, In(1, 20, 1));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1].value(1).AsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ(out[1].value(2).AsDouble(), 15.0);
+}
+
+TEST(WindowAggregate, MinMaxTrackWindow) {
+  WindowAggregateOperator agg(
+      kInfiniteDuration, {0},
+      {{AggFunc::kMin, false, 1}, {AggFunc::kMax, false, 1}},
+      std::make_shared<Schema>(
+          "out", std::vector<AttributeDef>{{"g", ValueType::kInt64},
+                                           {"lo", ValueType::kDouble},
+                                           {"hi", ValueType::kDouble}}));
+  std::vector<Tuple> out;
+  agg.SetSink([&](const Tuple& t) { out.push_back(t); });
+  agg.Push(0, In(1, 5, 0));
+  agg.Push(0, In(1, 3, 1));
+  agg.Push(0, In(1, 8, 2));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2].value(1).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(out[2].value(2).AsDouble(), 8.0);
+}
+
+TEST(WindowAggregate, WindowEvictionUpdatesState) {
+  // Window of 10: at ts=15, the tuple from ts=0 has left.
+  WindowAggregateOperator agg(10, {0}, {{AggFunc::kSum, false, 1}},
+                              OutSchema("s", ValueType::kDouble));
+  std::vector<Tuple> out;
+  agg.SetSink([&](const Tuple& t) { out.push_back(t); });
+  agg.Push(0, In(1, 100, 0));
+  agg.Push(0, In(1, 10, 15));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1].value(1).AsDouble(), 10.0);  // 100 evicted
+}
+
+TEST(WindowAggregate, MinRecomputedAfterEviction) {
+  WindowAggregateOperator agg(10, {0}, {{AggFunc::kMin, false, 1}},
+                              OutSchema("lo", ValueType::kDouble));
+  std::vector<Tuple> out;
+  agg.SetSink([&](const Tuple& t) { out.push_back(t); });
+  agg.Push(0, In(1, 1, 0));   // min = 1
+  agg.Push(0, In(1, 5, 8));   // min = 1
+  agg.Push(0, In(1, 7, 15));  // ts=0 evicted (cutoff 5); min of {5,7} = 5
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2].value(1).AsDouble(), 5.0);
+}
+
+TEST(WindowAggregate, GroupsDisappearWhenEmpty) {
+  WindowAggregateOperator agg(5, {0}, {{AggFunc::kCount, true, 0}},
+                              OutSchema("c", ValueType::kInt64));
+  agg.SetSink(nullptr);
+  agg.Push(0, In(1, 0, 0));
+  agg.Push(0, In(2, 0, 100));  // group 1 evicted entirely
+  EXPECT_EQ(agg.num_groups(), 1u);
+}
+
+TEST(WindowAggregate, EmptyGroupByAggregatesGlobally) {
+  WindowAggregateOperator agg(kInfiniteDuration, {},
+                              {{AggFunc::kCount, true, 0}},
+                              std::make_shared<Schema>(
+                                  "out", std::vector<AttributeDef>{
+                                             {"c", ValueType::kInt64}}));
+  std::vector<Tuple> out;
+  agg.SetSink([&](const Tuple& t) { out.push_back(t); });
+  agg.Push(0, In(1, 0, 0));
+  agg.Push(0, In(9, 0, 1));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].value(0).AsInt64(), 2);
+  EXPECT_EQ(agg.num_groups(), 1u);
+}
+
+TEST(WindowAggregate, EmissionTimestampIsArrivalTime) {
+  WindowAggregateOperator agg(kInfiniteDuration, {0},
+                              {{AggFunc::kCount, true, 0}},
+                              OutSchema("c", ValueType::kInt64));
+  std::vector<Tuple> out;
+  agg.SetSink([&](const Tuple& t) { out.push_back(t); });
+  agg.Push(0, In(1, 0, 77));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].timestamp(), 77);
+}
+
+}  // namespace
+}  // namespace cosmos

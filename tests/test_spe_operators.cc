@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "spe/operator.h"
+#include "spe/window.h"
+
+namespace cosmos {
+namespace {
+
+std::shared_ptr<const Schema> ABSchema() {
+  return std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"a", ValueType::kInt64},
+                                     {"b", ValueType::kDouble}});
+}
+
+Tuple MakeTuple(int64_t a, double b, Timestamp ts = 0) {
+  return Tuple(ABSchema(), {Value(a), Value(b)}, ts);
+}
+
+TEST(SelectOperator, FiltersByPredicate) {
+  SelectOperator op(*ParseExpression("a >= 5"));
+  std::vector<Tuple> out;
+  op.SetSink([&](const Tuple& t) { out.push_back(t); });
+  for (int i = 0; i < 10; ++i) op.Push(0, MakeTuple(i, 0.0));
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(SelectOperator, NullPredicatePassesAll) {
+  SelectOperator op(nullptr);
+  int n = 0;
+  op.SetSink([&](const Tuple&) { ++n; });
+  op.Push(0, MakeTuple(1, 1.0));
+  op.Push(0, MakeTuple(2, 2.0));
+  EXPECT_EQ(n, 2);
+}
+
+TEST(SelectOperator, RebindsPerInputSchema) {
+  // Same logical predicate evaluated against two physically different
+  // schemas (different attribute positions).
+  SelectOperator op(*ParseExpression("a >= 5"));
+  int n = 0;
+  op.SetSink([&](const Tuple&) { ++n; });
+  op.Push(0, MakeTuple(7, 0.0));
+  auto flipped = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"b", ValueType::kDouble},
+                                     {"a", ValueType::kInt64}});
+  op.Push(0, Tuple(flipped, {Value(0.0), Value(int64_t{9})}, 0));
+  EXPECT_EQ(n, 2);
+}
+
+TEST(SelectOperator, UnbindableSchemaDropsTuples) {
+  SelectOperator op(*ParseExpression("missing >= 5"));
+  int n = 0;
+  op.SetSink([&](const Tuple&) { ++n; });
+  op.Push(0, MakeTuple(7, 0.0));
+  EXPECT_EQ(n, 0);
+}
+
+TEST(AdaptOperator, ReordersAndDropsExtras) {
+  auto target = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"b", ValueType::kDouble}});
+  AdaptOperator op(target);
+  std::vector<Tuple> out;
+  op.SetSink([&](const Tuple& t) { out.push_back(t); });
+  op.Push(0, MakeTuple(1, 2.5, 42));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].num_values(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value(0).AsDouble(), 2.5);
+  EXPECT_EQ(out[0].timestamp(), 42);
+}
+
+TEST(AdaptOperator, DropsTuplesMissingTargetAttributes) {
+  auto target = std::make_shared<Schema>(
+      "S", std::vector<AttributeDef>{{"z", ValueType::kInt64}});
+  AdaptOperator op(target);
+  int n = 0;
+  op.SetSink([&](const Tuple&) { ++n; });
+  op.Push(0, MakeTuple(1, 1.0));
+  EXPECT_EQ(n, 0);
+}
+
+TEST(ProjectOperator, MapsIndexes) {
+  auto out_schema = std::make_shared<Schema>(
+      "out", std::vector<AttributeDef>{{"renamed", ValueType::kInt64}});
+  ProjectOperator op({0}, out_schema);
+  std::vector<Tuple> out;
+  op.SetSink([&](const Tuple& t) { out.push_back(t); });
+  op.Push(0, MakeTuple(9, 1.0, 5));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema()->attribute(0).name, "renamed");
+  EXPECT_EQ(out[0].value(0).AsInt64(), 9);
+}
+
+TEST(WindowBuffer, EvictsExpired) {
+  WindowBuffer w(10);
+  w.Insert(MakeTuple(1, 0, 0));
+  w.Insert(MakeTuple(2, 0, 5));
+  w.Insert(MakeTuple(3, 0, 10));
+  std::vector<Tuple> evicted;
+  // At now=12, cutoff = 2: tuple at ts=0 leaves.
+  EXPECT_EQ(w.EvictExpired(12, &evicted), 1u);
+  EXPECT_EQ(w.count(), 2u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].timestamp(), 0);
+}
+
+TEST(WindowBuffer, BoundaryTupleStays) {
+  WindowBuffer w(10);
+  w.Insert(MakeTuple(1, 0, 0));
+  // cutoff = now - T = 0: ts=0 is still inside [now-T, now].
+  EXPECT_EQ(w.EvictExpired(10, nullptr), 0u);
+  EXPECT_EQ(w.EvictExpired(11, nullptr), 1u);
+}
+
+TEST(WindowBuffer, UnboundedNeverEvicts) {
+  WindowBuffer w(kInfiniteDuration);
+  for (int i = 0; i < 100; ++i) w.Insert(MakeTuple(i, 0, i));
+  EXPECT_EQ(w.EvictExpired(1'000'000'000, nullptr), 0u);
+  EXPECT_EQ(w.count(), 100u);
+}
+
+TEST(WindowBuffer, NowWindowKeepsOnlyCurrentInstant) {
+  WindowBuffer w(0);
+  w.Insert(MakeTuple(1, 0, 5));
+  EXPECT_EQ(w.EvictExpired(5, nullptr), 0u);  // same instant survives
+  EXPECT_EQ(w.EvictExpired(6, nullptr), 1u);
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,117 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "invalid argument: bad thing");
+}
+
+TEST(Status, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+// GCC 12 raises a -Wmaybe-uninitialized false positive when it inlines the
+// Status alternative's string members out of a variant it can prove holds
+// the int alternative (GCC bug 105562).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+#pragma GCC diagnostic pop
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  COSMOS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(Result, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status s = UseAssignOrReturn(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(Result, AssignOrReturnAssignsValue) {
+  int out = 0;
+  Status s = UseAssignOrReturn(21, &out);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(out, 42);
+}
+
+Status UseReturnIfError(bool fail) {
+  COSMOS_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(Result, ReturnIfError) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+TEST(Result, AccessingErrorValueDies) {
+  Result<int> r = Status::Internal("nope");
+  EXPECT_DEATH({ (void)r.value(); }, "Result accessed");
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,28 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos {
+namespace {
+
+TEST(Time, UnitRatios) {
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(Time, DurationToStringPicksNaturalUnit) {
+  EXPECT_EQ(DurationToString(3 * kHour), "3h");
+  EXPECT_EQ(DurationToString(90 * kMinute), "90m");
+  EXPECT_EQ(DurationToString(45 * kSecond), "45s");
+  EXPECT_EQ(DurationToString(250 * kMillisecond), "250ms");
+  EXPECT_EQ(DurationToString(17), "17us");
+  EXPECT_EQ(DurationToString(kInfiniteDuration), "unbounded");
+}
+
+TEST(Time, ZeroDuration) { EXPECT_EQ(DurationToString(0), "0us"); }
+
+}  // namespace
+}  // namespace cosmos

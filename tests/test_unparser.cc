@@ -1,0 +1,97 @@
+#include "query/unparser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "stream/auction_dataset.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+class UnparserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AuctionDataset auctions;
+    ASSERT_TRUE(auctions.RegisterAll(catalog_).ok());
+    SensorDataset sensors;
+    ASSERT_TRUE(sensors.RegisterAll(catalog_).ok());
+  }
+
+  // Round-trip: unparse then re-analyze; the two semantic forms must be
+  // mutually containing (semantically equal).
+  void ExpectRoundTrip(const std::string& cql) {
+    auto q1 = ParseAndAnalyze(cql, catalog_, "r");
+    ASSERT_TRUE(q1.ok()) << cql << " -> " << q1.status().ToString();
+    std::string text = Unparse(*q1);
+    auto q2 = ParseAndAnalyze(text, catalog_, "r");
+    ASSERT_TRUE(q2.ok()) << "unparsed: " << text << " -> "
+                         << q2.status().ToString();
+    EXPECT_TRUE(QueryContains(*q1, *q2) && QueryContains(*q2, *q1))
+        << "original: " << cql << "\nunparsed: " << text;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(UnparserTest, SimpleSelect) {
+  ExpectRoundTrip("SELECT itemID FROM OpenAuction [Range 1 Hour]");
+}
+
+TEST_F(UnparserTest, SelectionPredicates) {
+  ExpectRoundTrip(
+      "SELECT itemID, start_price FROM OpenAuction [Range 1 Hour] "
+      "WHERE start_price >= 10 AND start_price <= 50");
+}
+
+TEST_F(UnparserTest, StrictBoundsSurvive) {
+  ExpectRoundTrip(
+      "SELECT itemID FROM OpenAuction WHERE start_price > 10 AND "
+      "start_price < 50");
+}
+
+TEST_F(UnparserTest, JoinQuery) {
+  ExpectRoundTrip(
+      "SELECT O.itemID, C.buyerID FROM OpenAuction [Range 3 Hour] O, "
+      "ClosedAuction [Now] C WHERE O.itemID = C.itemID");
+}
+
+TEST_F(UnparserTest, JoinWithResidual) {
+  ExpectRoundTrip(
+      "SELECT O.itemID FROM OpenAuction [Range 3 Hour] O, ClosedAuction "
+      "[Now] C WHERE O.itemID = C.itemID AND O.timestamp - C.timestamp <= "
+      "0");
+}
+
+TEST_F(UnparserTest, AggregateQuery) {
+  ExpectRoundTrip(
+      "SELECT station_id, AVG(ambient_temperature) FROM sensor_01 "
+      "[Range 30 Minute] GROUP BY station_id");
+}
+
+TEST_F(UnparserTest, Table1Q3) {
+  ExpectRoundTrip(
+      "SELECT O.*, C.buyerID, C.timestamp FROM OpenAuction [Range 5 Hour] "
+      "O, ClosedAuction [Now] C WHERE O.itemID = C.itemID");
+}
+
+TEST_F(UnparserTest, EqualityPredicate) {
+  ExpectRoundTrip("SELECT itemID FROM OpenAuction WHERE sellerID = 42");
+}
+
+TEST_F(UnparserTest, RebuildWhereIsNullForNoPredicates) {
+  auto q = ParseAndAnalyze("SELECT itemID FROM OpenAuction", catalog_, "r");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(RebuildWhere(*q), nullptr);
+}
+
+TEST_F(UnparserTest, UnparseMentionsWindow) {
+  auto q = ParseAndAnalyze("SELECT itemID FROM OpenAuction [Range 3 Hour]",
+                           catalog_, "r");
+  ASSERT_TRUE(q.ok());
+  std::string text = Unparse(*q);
+  EXPECT_NE(text.find("[Range 3 Hour]"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,104 @@
+#include "stream/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos {
+namespace {
+
+TEST(Value, TypesAreReported) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{1}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("s").type(), ValueType::kString);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value(int64_t{7}).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hello").AsString(), "hello");
+  EXPECT_TRUE(Value(true).AsBool());
+}
+
+TEST(Value, NumericValueWidens) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).NumericValue(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.25).NumericValue(), 3.25);
+}
+
+TEST(Value, IsNumeric) {
+  EXPECT_TRUE(Value(int64_t{1}).is_numeric());
+  EXPECT_TRUE(Value(0.5).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+  EXPECT_FALSE(Value(true).is_numeric());
+  EXPECT_FALSE(Value().is_numeric());
+}
+
+TEST(Value, CompareNumericCrossType) {
+  auto c = Value(int64_t{2}).Compare(Value(2.0));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0);
+  c = Value(int64_t{1}).Compare(Value(1.5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+  c = Value(3.0).Compare(Value(int64_t{2}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, 0);
+}
+
+TEST(Value, CompareStrings) {
+  auto c = Value("abc").Compare(Value("abd"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+  c = Value("b").Compare(Value("b"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0);
+}
+
+TEST(Value, CompareBools) {
+  auto c = Value(false).Compare(Value(true));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+}
+
+TEST(Value, CompareIncompatibleFails) {
+  EXPECT_FALSE(Value("x").Compare(Value(int64_t{1})).ok());
+  EXPECT_FALSE(Value(true).Compare(Value("t")).ok());
+  EXPECT_FALSE(Value().Compare(Value(int64_t{1})).ok());
+  EXPECT_FALSE(Value(int64_t{1}).Compare(Value()).ok());
+}
+
+TEST(Value, StrictEquality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  // Strict equality distinguishes int64 1 from double 1.0 (containers).
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_EQ(Value(), Value::Null());
+}
+
+TEST(Value, SerializedSizes) {
+  EXPECT_EQ(Value(int64_t{1}).SerializedSize(), 8u);
+  EXPECT_EQ(Value(1.0).SerializedSize(), 8u);
+  EXPECT_EQ(Value(true).SerializedSize(), 1u);
+  EXPECT_EQ(Value().SerializedSize(), 1u);
+  EXPECT_EQ(Value("abcd").SerializedSize(), 8u);  // 4 length + 4 payload
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_EQ(Value().ToString(), "NULL");
+}
+
+TEST(Value, HashEqualForIntegralDoubleAndInt) {
+  // Mixed-type group keys that compare equal should hash equal.
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+}
+
+TEST(Value, HashDiffersForDifferentPayloads) {
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+  EXPECT_NE(Value("a").Hash(), Value("b").Hash());
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,114 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/analyzer.h"
+#include "stream/sensor_dataset.h"
+
+namespace cosmos {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SensorDataset sensors;
+    ASSERT_TRUE(sensors.RegisterAll(catalog_).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(WorkloadTest, GeneratedQueriesAllParseAndAnalyze) {
+  WorkloadOptions opts;
+  opts.zipf_theta = 1.0;
+  opts.seed = 555;
+  opts.aggregate_fraction = 0.2;
+  QueryWorkloadGenerator gen(&catalog_, opts);
+  for (int i = 0; i < 200; ++i) {
+    std::string cql = gen.NextCql();
+    auto q = ParseAndAnalyze(cql, catalog_, "r");
+    EXPECT_TRUE(q.ok()) << cql << " -> " << q.status().ToString();
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadOptions opts;
+  opts.seed = 9;
+  QueryWorkloadGenerator a(&catalog_, opts);
+  QueryWorkloadGenerator b(&catalog_, opts);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.NextCql(), b.NextCql());
+  }
+}
+
+TEST_F(WorkloadTest, ReseedRestartsSequence) {
+  WorkloadOptions opts;
+  opts.seed = 9;
+  QueryWorkloadGenerator gen(&catalog_, opts);
+  std::string first = gen.NextCql();
+  gen.NextCql();
+  gen.Reseed(9);
+  EXPECT_EQ(gen.NextCql(), first);
+}
+
+TEST_F(WorkloadTest, SkewConcentratesStreams) {
+  auto count_distinct_streams = [&](double theta) {
+    WorkloadOptions opts;
+    opts.zipf_theta = theta;
+    opts.seed = 17;
+    QueryWorkloadGenerator gen(&catalog_, opts);
+    std::set<std::string> streams;
+    for (int i = 0; i < 300; ++i) {
+      auto q = ParseAndAnalyze(gen.NextCql(), catalog_, "r");
+      if (q.ok()) streams.insert(q->sources()[0].from.stream);
+    }
+    return streams.size();
+  };
+  size_t uniform = count_distinct_streams(0.0);
+  size_t skewed = count_distinct_streams(2.0);
+  EXPECT_GT(uniform, skewed);
+  EXPECT_LT(skewed, 20u);  // zipf2 over 63 streams clusters hard
+}
+
+TEST_F(WorkloadTest, SkewProducesMoreDuplicateQueries) {
+  auto count_distinct = [&](double theta) {
+    WorkloadOptions opts;
+    opts.zipf_theta = theta;
+    opts.seed = 23;
+    QueryWorkloadGenerator gen(&catalog_, opts);
+    std::set<std::string> qs;
+    for (int i = 0; i < 300; ++i) qs.insert(gen.NextCql());
+    return qs.size();
+  };
+  EXPECT_GT(count_distinct(0.0), count_distinct(2.0));
+}
+
+TEST_F(WorkloadTest, AggregateFractionProducesAggregates) {
+  WorkloadOptions opts;
+  opts.aggregate_fraction = 1.0;
+  opts.seed = 3;
+  QueryWorkloadGenerator gen(&catalog_, opts);
+  for (int i = 0; i < 20; ++i) {
+    auto q = ParseAndAnalyze(gen.NextCql(), catalog_, "r");
+    ASSERT_TRUE(q.ok());
+    EXPECT_TRUE(q->is_aggregate());
+  }
+}
+
+TEST_F(WorkloadTest, JoinFractionProducesJoins) {
+  WorkloadOptions opts;
+  opts.join_fraction = 1.0;
+  opts.seed = 3;
+  QueryWorkloadGenerator gen(&catalog_, opts);
+  int joins = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto q = ParseAndAnalyze(gen.NextCql(), catalog_, "r");
+    ASSERT_TRUE(q.ok());
+    if (q->sources().size() == 2) ++joins;
+  }
+  EXPECT_GT(joins, 15);
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,88 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cosmos {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  for (double theta : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    ZipfDistribution z(50, theta);
+    double total = 0.0;
+    for (size_t k = 0; k < z.n(); ++k) total += z.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "theta=" << theta;
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, PmfIsMonotoneDecreasing) {
+  ZipfDistribution z(100, 1.5);
+  for (size_t k = 1; k < z.n(); ++k) {
+    EXPECT_LE(z.pmf(k), z.pmf(k - 1));
+  }
+}
+
+TEST(Zipf, HeadMassGrowsWithTheta) {
+  ZipfDistribution z1(100, 1.0);
+  ZipfDistribution z2(100, 2.0);
+  EXPECT_GT(z2.pmf(0), z1.pmf(0));
+}
+
+TEST(Zipf, PmfMatchesDefinition) {
+  const size_t n = 20;
+  const double theta = 1.3;
+  ZipfDistribution z(n, theta);
+  double h = 0.0;
+  for (size_t k = 1; k <= n; ++k) h += 1.0 / std::pow(k, theta);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(z.pmf(k), (1.0 / std::pow(k + 1, theta)) / h, 1e-9);
+  }
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  const size_t n = 10;
+  ZipfDistribution z(n, 1.0);
+  Rng rng(42);
+  const int kDraws = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    size_t k = z.Sample(rng);
+    ASSERT_LT(k, n);
+    ++counts[k];
+  }
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(kDraws), z.pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, SingleElementAlwaysSampled) {
+  ZipfDistribution z(1, 1.5);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(z.Sample(rng), 0u);
+  }
+}
+
+TEST(Zipf, HighSkewConcentratesOnHead) {
+  ZipfDistribution z(1000, 2.0);
+  Rng rng(9);
+  int head = 0;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (z.Sample(rng) < 10) ++head;
+  }
+  // With theta=2 over 1000 ranks, >90% of mass is in the first 10 ranks.
+  EXPECT_GT(head, kDraws * 85 / 100);
+}
+
+}  // namespace
+}  // namespace cosmos
