@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_advertisements.dir/bench_ablation_advertisements.cc.o"
+  "CMakeFiles/bench_ablation_advertisements.dir/bench_ablation_advertisements.cc.o.d"
+  "bench_ablation_advertisements"
+  "bench_ablation_advertisements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_advertisements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_result_delivery.dir/bench_fig3_result_delivery.cc.o"
+  "CMakeFiles/bench_fig3_result_delivery.dir/bench_fig3_result_delivery.cc.o.d"
+  "bench_fig3_result_delivery"
+  "bench_fig3_result_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_result_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

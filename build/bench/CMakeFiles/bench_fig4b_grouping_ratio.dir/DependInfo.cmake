@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4b_grouping_ratio.cc" "bench/CMakeFiles/bench_fig4b_grouping_ratio.dir/bench_fig4b_grouping_ratio.cc.o" "gcc" "bench/CMakeFiles/bench_fig4b_grouping_ratio.dir/bench_fig4b_grouping_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_cbn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_monitoring.dir/auction_monitoring.cpp.o"
+  "CMakeFiles/auction_monitoring.dir/auction_monitoring.cpp.o.d"
+  "auction_monitoring"
+  "auction_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_processors.dir/distributed_processors.cpp.o"
+  "CMakeFiles/distributed_processors.dir/distributed_processors.cpp.o.d"
+  "distributed_processors"
+  "distributed_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_tuning.dir/overlay_tuning.cpp.o"
+  "CMakeFiles/overlay_tuning.dir/overlay_tuning.cpp.o.d"
+  "overlay_tuning"
+  "overlay_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

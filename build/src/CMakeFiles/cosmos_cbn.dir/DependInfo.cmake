@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cbn/codec.cc" "src/CMakeFiles/cosmos_cbn.dir/cbn/codec.cc.o" "gcc" "src/CMakeFiles/cosmos_cbn.dir/cbn/codec.cc.o.d"
+  "/root/repo/src/cbn/covering.cc" "src/CMakeFiles/cosmos_cbn.dir/cbn/covering.cc.o" "gcc" "src/CMakeFiles/cosmos_cbn.dir/cbn/covering.cc.o.d"
+  "/root/repo/src/cbn/datagram.cc" "src/CMakeFiles/cosmos_cbn.dir/cbn/datagram.cc.o" "gcc" "src/CMakeFiles/cosmos_cbn.dir/cbn/datagram.cc.o.d"
+  "/root/repo/src/cbn/filter.cc" "src/CMakeFiles/cosmos_cbn.dir/cbn/filter.cc.o" "gcc" "src/CMakeFiles/cosmos_cbn.dir/cbn/filter.cc.o.d"
+  "/root/repo/src/cbn/network.cc" "src/CMakeFiles/cosmos_cbn.dir/cbn/network.cc.o" "gcc" "src/CMakeFiles/cosmos_cbn.dir/cbn/network.cc.o.d"
+  "/root/repo/src/cbn/profile.cc" "src/CMakeFiles/cosmos_cbn.dir/cbn/profile.cc.o" "gcc" "src/CMakeFiles/cosmos_cbn.dir/cbn/profile.cc.o.d"
+  "/root/repo/src/cbn/router.cc" "src/CMakeFiles/cosmos_cbn.dir/cbn/router.cc.o" "gcc" "src/CMakeFiles/cosmos_cbn.dir/cbn/router.cc.o.d"
+  "/root/repo/src/cbn/routing_table.cc" "src/CMakeFiles/cosmos_cbn.dir/cbn/routing_table.cc.o" "gcc" "src/CMakeFiles/cosmos_cbn.dir/cbn/routing_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmos_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

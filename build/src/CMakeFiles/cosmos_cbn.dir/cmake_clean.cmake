@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_cbn.dir/cbn/codec.cc.o"
+  "CMakeFiles/cosmos_cbn.dir/cbn/codec.cc.o.d"
+  "CMakeFiles/cosmos_cbn.dir/cbn/covering.cc.o"
+  "CMakeFiles/cosmos_cbn.dir/cbn/covering.cc.o.d"
+  "CMakeFiles/cosmos_cbn.dir/cbn/datagram.cc.o"
+  "CMakeFiles/cosmos_cbn.dir/cbn/datagram.cc.o.d"
+  "CMakeFiles/cosmos_cbn.dir/cbn/filter.cc.o"
+  "CMakeFiles/cosmos_cbn.dir/cbn/filter.cc.o.d"
+  "CMakeFiles/cosmos_cbn.dir/cbn/network.cc.o"
+  "CMakeFiles/cosmos_cbn.dir/cbn/network.cc.o.d"
+  "CMakeFiles/cosmos_cbn.dir/cbn/profile.cc.o"
+  "CMakeFiles/cosmos_cbn.dir/cbn/profile.cc.o.d"
+  "CMakeFiles/cosmos_cbn.dir/cbn/router.cc.o"
+  "CMakeFiles/cosmos_cbn.dir/cbn/router.cc.o.d"
+  "CMakeFiles/cosmos_cbn.dir/cbn/routing_table.cc.o"
+  "CMakeFiles/cosmos_cbn.dir/cbn/routing_table.cc.o.d"
+  "libcosmos_cbn.a"
+  "libcosmos_cbn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_cbn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_common.dir/common/logging.cc.o"
+  "CMakeFiles/cosmos_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/cosmos_common.dir/common/random.cc.o"
+  "CMakeFiles/cosmos_common.dir/common/random.cc.o.d"
+  "CMakeFiles/cosmos_common.dir/common/status.cc.o"
+  "CMakeFiles/cosmos_common.dir/common/status.cc.o.d"
+  "CMakeFiles/cosmos_common.dir/common/string_util.cc.o"
+  "CMakeFiles/cosmos_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/cosmos_common.dir/common/zipf.cc.o"
+  "CMakeFiles/cosmos_common.dir/common/zipf.cc.o.d"
+  "libcosmos_common.a"
+  "libcosmos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

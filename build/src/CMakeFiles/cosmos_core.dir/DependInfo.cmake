@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/containment.cc" "src/CMakeFiles/cosmos_core.dir/core/containment.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/containment.cc.o.d"
+  "/root/repo/src/core/grouping.cc" "src/CMakeFiles/cosmos_core.dir/core/grouping.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/grouping.cc.o.d"
+  "/root/repo/src/core/merger.cc" "src/CMakeFiles/cosmos_core.dir/core/merger.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/merger.cc.o.d"
+  "/root/repo/src/core/processor.cc" "src/CMakeFiles/cosmos_core.dir/core/processor.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/processor.cc.o.d"
+  "/root/repo/src/core/profile_composer.cc" "src/CMakeFiles/cosmos_core.dir/core/profile_composer.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/profile_composer.cc.o.d"
+  "/root/repo/src/core/query_distribution.cc" "src/CMakeFiles/cosmos_core.dir/core/query_distribution.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/query_distribution.cc.o.d"
+  "/root/repo/src/core/query_group.cc" "src/CMakeFiles/cosmos_core.dir/core/query_group.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/query_group.cc.o.d"
+  "/root/repo/src/core/rate_estimator.cc" "src/CMakeFiles/cosmos_core.dir/core/rate_estimator.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/rate_estimator.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/CMakeFiles/cosmos_core.dir/core/statistics.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/statistics.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/cosmos_core.dir/core/system.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/system.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/cosmos_core.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/cosmos_core.dir/core/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmos_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_cbn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_core.dir/core/containment.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/containment.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/grouping.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/grouping.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/merger.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/merger.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/processor.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/processor.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/profile_composer.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/profile_composer.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/query_distribution.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/query_distribution.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/query_group.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/query_group.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/rate_estimator.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/rate_estimator.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/statistics.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/statistics.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/system.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/system.cc.o.d"
+  "CMakeFiles/cosmos_core.dir/core/workload.cc.o"
+  "CMakeFiles/cosmos_core.dir/core/workload.cc.o.d"
+  "libcosmos_core.a"
+  "libcosmos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

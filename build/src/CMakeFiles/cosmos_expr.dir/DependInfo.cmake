@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/conjunct.cc" "src/CMakeFiles/cosmos_expr.dir/expr/conjunct.cc.o" "gcc" "src/CMakeFiles/cosmos_expr.dir/expr/conjunct.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/cosmos_expr.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/cosmos_expr.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/cosmos_expr.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/cosmos_expr.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/implication.cc" "src/CMakeFiles/cosmos_expr.dir/expr/implication.cc.o" "gcc" "src/CMakeFiles/cosmos_expr.dir/expr/implication.cc.o.d"
+  "/root/repo/src/expr/interval.cc" "src/CMakeFiles/cosmos_expr.dir/expr/interval.cc.o" "gcc" "src/CMakeFiles/cosmos_expr.dir/expr/interval.cc.o.d"
+  "/root/repo/src/expr/relaxation.cc" "src/CMakeFiles/cosmos_expr.dir/expr/relaxation.cc.o" "gcc" "src/CMakeFiles/cosmos_expr.dir/expr/relaxation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmos_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

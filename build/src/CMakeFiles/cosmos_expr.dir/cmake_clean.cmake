@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_expr.dir/expr/conjunct.cc.o"
+  "CMakeFiles/cosmos_expr.dir/expr/conjunct.cc.o.d"
+  "CMakeFiles/cosmos_expr.dir/expr/evaluator.cc.o"
+  "CMakeFiles/cosmos_expr.dir/expr/evaluator.cc.o.d"
+  "CMakeFiles/cosmos_expr.dir/expr/expression.cc.o"
+  "CMakeFiles/cosmos_expr.dir/expr/expression.cc.o.d"
+  "CMakeFiles/cosmos_expr.dir/expr/implication.cc.o"
+  "CMakeFiles/cosmos_expr.dir/expr/implication.cc.o.d"
+  "CMakeFiles/cosmos_expr.dir/expr/interval.cc.o"
+  "CMakeFiles/cosmos_expr.dir/expr/interval.cc.o.d"
+  "CMakeFiles/cosmos_expr.dir/expr/relaxation.cc.o"
+  "CMakeFiles/cosmos_expr.dir/expr/relaxation.cc.o.d"
+  "libcosmos_expr.a"
+  "libcosmos_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

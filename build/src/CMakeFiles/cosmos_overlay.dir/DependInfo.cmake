@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/dissemination_tree.cc" "src/CMakeFiles/cosmos_overlay.dir/overlay/dissemination_tree.cc.o" "gcc" "src/CMakeFiles/cosmos_overlay.dir/overlay/dissemination_tree.cc.o.d"
+  "/root/repo/src/overlay/graph.cc" "src/CMakeFiles/cosmos_overlay.dir/overlay/graph.cc.o" "gcc" "src/CMakeFiles/cosmos_overlay.dir/overlay/graph.cc.o.d"
+  "/root/repo/src/overlay/optimizer.cc" "src/CMakeFiles/cosmos_overlay.dir/overlay/optimizer.cc.o" "gcc" "src/CMakeFiles/cosmos_overlay.dir/overlay/optimizer.cc.o.d"
+  "/root/repo/src/overlay/spanning_tree.cc" "src/CMakeFiles/cosmos_overlay.dir/overlay/spanning_tree.cc.o" "gcc" "src/CMakeFiles/cosmos_overlay.dir/overlay/spanning_tree.cc.o.d"
+  "/root/repo/src/overlay/topology.cc" "src/CMakeFiles/cosmos_overlay.dir/overlay/topology.cc.o" "gcc" "src/CMakeFiles/cosmos_overlay.dir/overlay/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

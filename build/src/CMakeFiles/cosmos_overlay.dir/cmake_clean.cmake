@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_overlay.dir/overlay/dissemination_tree.cc.o"
+  "CMakeFiles/cosmos_overlay.dir/overlay/dissemination_tree.cc.o.d"
+  "CMakeFiles/cosmos_overlay.dir/overlay/graph.cc.o"
+  "CMakeFiles/cosmos_overlay.dir/overlay/graph.cc.o.d"
+  "CMakeFiles/cosmos_overlay.dir/overlay/optimizer.cc.o"
+  "CMakeFiles/cosmos_overlay.dir/overlay/optimizer.cc.o.d"
+  "CMakeFiles/cosmos_overlay.dir/overlay/spanning_tree.cc.o"
+  "CMakeFiles/cosmos_overlay.dir/overlay/spanning_tree.cc.o.d"
+  "CMakeFiles/cosmos_overlay.dir/overlay/topology.cc.o"
+  "CMakeFiles/cosmos_overlay.dir/overlay/topology.cc.o.d"
+  "libcosmos_overlay.a"
+  "libcosmos_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_query.dir/query/analyzer.cc.o"
+  "CMakeFiles/cosmos_query.dir/query/analyzer.cc.o.d"
+  "CMakeFiles/cosmos_query.dir/query/ast.cc.o"
+  "CMakeFiles/cosmos_query.dir/query/ast.cc.o.d"
+  "CMakeFiles/cosmos_query.dir/query/lexer.cc.o"
+  "CMakeFiles/cosmos_query.dir/query/lexer.cc.o.d"
+  "CMakeFiles/cosmos_query.dir/query/parser.cc.o"
+  "CMakeFiles/cosmos_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/cosmos_query.dir/query/unparser.cc.o"
+  "CMakeFiles/cosmos_query.dir/query/unparser.cc.o.d"
+  "libcosmos_query.a"
+  "libcosmos_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

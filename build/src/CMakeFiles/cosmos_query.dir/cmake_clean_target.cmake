@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcosmos_query.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/cosmos_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/cosmos_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/cosmos_sim.dir/sim/simulator.cc.o.d"
+  "libcosmos_sim.a"
+  "libcosmos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

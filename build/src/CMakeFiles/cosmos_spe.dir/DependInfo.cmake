@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spe/aggregate.cc" "src/CMakeFiles/cosmos_spe.dir/spe/aggregate.cc.o" "gcc" "src/CMakeFiles/cosmos_spe.dir/spe/aggregate.cc.o.d"
+  "/root/repo/src/spe/engine.cc" "src/CMakeFiles/cosmos_spe.dir/spe/engine.cc.o" "gcc" "src/CMakeFiles/cosmos_spe.dir/spe/engine.cc.o.d"
+  "/root/repo/src/spe/join.cc" "src/CMakeFiles/cosmos_spe.dir/spe/join.cc.o" "gcc" "src/CMakeFiles/cosmos_spe.dir/spe/join.cc.o.d"
+  "/root/repo/src/spe/multiway_join.cc" "src/CMakeFiles/cosmos_spe.dir/spe/multiway_join.cc.o" "gcc" "src/CMakeFiles/cosmos_spe.dir/spe/multiway_join.cc.o.d"
+  "/root/repo/src/spe/operator.cc" "src/CMakeFiles/cosmos_spe.dir/spe/operator.cc.o" "gcc" "src/CMakeFiles/cosmos_spe.dir/spe/operator.cc.o.d"
+  "/root/repo/src/spe/plan.cc" "src/CMakeFiles/cosmos_spe.dir/spe/plan.cc.o" "gcc" "src/CMakeFiles/cosmos_spe.dir/spe/plan.cc.o.d"
+  "/root/repo/src/spe/window.cc" "src/CMakeFiles/cosmos_spe.dir/spe/window.cc.o" "gcc" "src/CMakeFiles/cosmos_spe.dir/spe/window.cc.o.d"
+  "/root/repo/src/spe/wrapper.cc" "src/CMakeFiles/cosmos_spe.dir/spe/wrapper.cc.o" "gcc" "src/CMakeFiles/cosmos_spe.dir/spe/wrapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmos_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_spe.dir/spe/aggregate.cc.o"
+  "CMakeFiles/cosmos_spe.dir/spe/aggregate.cc.o.d"
+  "CMakeFiles/cosmos_spe.dir/spe/engine.cc.o"
+  "CMakeFiles/cosmos_spe.dir/spe/engine.cc.o.d"
+  "CMakeFiles/cosmos_spe.dir/spe/join.cc.o"
+  "CMakeFiles/cosmos_spe.dir/spe/join.cc.o.d"
+  "CMakeFiles/cosmos_spe.dir/spe/multiway_join.cc.o"
+  "CMakeFiles/cosmos_spe.dir/spe/multiway_join.cc.o.d"
+  "CMakeFiles/cosmos_spe.dir/spe/operator.cc.o"
+  "CMakeFiles/cosmos_spe.dir/spe/operator.cc.o.d"
+  "CMakeFiles/cosmos_spe.dir/spe/plan.cc.o"
+  "CMakeFiles/cosmos_spe.dir/spe/plan.cc.o.d"
+  "CMakeFiles/cosmos_spe.dir/spe/window.cc.o"
+  "CMakeFiles/cosmos_spe.dir/spe/window.cc.o.d"
+  "CMakeFiles/cosmos_spe.dir/spe/wrapper.cc.o"
+  "CMakeFiles/cosmos_spe.dir/spe/wrapper.cc.o.d"
+  "libcosmos_spe.a"
+  "libcosmos_spe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_spe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

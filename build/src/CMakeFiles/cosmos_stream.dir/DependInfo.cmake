@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/auction_dataset.cc" "src/CMakeFiles/cosmos_stream.dir/stream/auction_dataset.cc.o" "gcc" "src/CMakeFiles/cosmos_stream.dir/stream/auction_dataset.cc.o.d"
+  "/root/repo/src/stream/catalog.cc" "src/CMakeFiles/cosmos_stream.dir/stream/catalog.cc.o" "gcc" "src/CMakeFiles/cosmos_stream.dir/stream/catalog.cc.o.d"
+  "/root/repo/src/stream/generator.cc" "src/CMakeFiles/cosmos_stream.dir/stream/generator.cc.o" "gcc" "src/CMakeFiles/cosmos_stream.dir/stream/generator.cc.o.d"
+  "/root/repo/src/stream/schema.cc" "src/CMakeFiles/cosmos_stream.dir/stream/schema.cc.o" "gcc" "src/CMakeFiles/cosmos_stream.dir/stream/schema.cc.o.d"
+  "/root/repo/src/stream/sensor_dataset.cc" "src/CMakeFiles/cosmos_stream.dir/stream/sensor_dataset.cc.o" "gcc" "src/CMakeFiles/cosmos_stream.dir/stream/sensor_dataset.cc.o.d"
+  "/root/repo/src/stream/tuple.cc" "src/CMakeFiles/cosmos_stream.dir/stream/tuple.cc.o" "gcc" "src/CMakeFiles/cosmos_stream.dir/stream/tuple.cc.o.d"
+  "/root/repo/src/stream/value.cc" "src/CMakeFiles/cosmos_stream.dir/stream/value.cc.o" "gcc" "src/CMakeFiles/cosmos_stream.dir/stream/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmos_stream.dir/stream/auction_dataset.cc.o"
+  "CMakeFiles/cosmos_stream.dir/stream/auction_dataset.cc.o.d"
+  "CMakeFiles/cosmos_stream.dir/stream/catalog.cc.o"
+  "CMakeFiles/cosmos_stream.dir/stream/catalog.cc.o.d"
+  "CMakeFiles/cosmos_stream.dir/stream/generator.cc.o"
+  "CMakeFiles/cosmos_stream.dir/stream/generator.cc.o.d"
+  "CMakeFiles/cosmos_stream.dir/stream/schema.cc.o"
+  "CMakeFiles/cosmos_stream.dir/stream/schema.cc.o.d"
+  "CMakeFiles/cosmos_stream.dir/stream/sensor_dataset.cc.o"
+  "CMakeFiles/cosmos_stream.dir/stream/sensor_dataset.cc.o.d"
+  "CMakeFiles/cosmos_stream.dir/stream/tuple.cc.o"
+  "CMakeFiles/cosmos_stream.dir/stream/tuple.cc.o.d"
+  "CMakeFiles/cosmos_stream.dir/stream/value.cc.o"
+  "CMakeFiles/cosmos_stream.dir/stream/value.cc.o.d"
+  "libcosmos_stream.a"
+  "libcosmos_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmos_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

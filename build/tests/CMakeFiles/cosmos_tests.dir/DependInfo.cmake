@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyzer.cc" "tests/CMakeFiles/cosmos_tests.dir/test_analyzer.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_analyzer.cc.o.d"
+  "/root/repo/tests/test_catalog.cc" "tests/CMakeFiles/cosmos_tests.dir/test_catalog.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_catalog.cc.o.d"
+  "/root/repo/tests/test_cbn_network.cc" "tests/CMakeFiles/cosmos_tests.dir/test_cbn_network.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_cbn_network.cc.o.d"
+  "/root/repo/tests/test_churn.cc" "tests/CMakeFiles/cosmos_tests.dir/test_churn.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_churn.cc.o.d"
+  "/root/repo/tests/test_codec.cc" "tests/CMakeFiles/cosmos_tests.dir/test_codec.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_codec.cc.o.d"
+  "/root/repo/tests/test_conjunct.cc" "tests/CMakeFiles/cosmos_tests.dir/test_conjunct.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_conjunct.cc.o.d"
+  "/root/repo/tests/test_containment.cc" "tests/CMakeFiles/cosmos_tests.dir/test_containment.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_containment.cc.o.d"
+  "/root/repo/tests/test_covering.cc" "tests/CMakeFiles/cosmos_tests.dir/test_covering.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_covering.cc.o.d"
+  "/root/repo/tests/test_datasets.cc" "tests/CMakeFiles/cosmos_tests.dir/test_datasets.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_datasets.cc.o.d"
+  "/root/repo/tests/test_distribution.cc" "tests/CMakeFiles/cosmos_tests.dir/test_distribution.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_distribution.cc.o.d"
+  "/root/repo/tests/test_expression.cc" "tests/CMakeFiles/cosmos_tests.dir/test_expression.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_expression.cc.o.d"
+  "/root/repo/tests/test_failover.cc" "tests/CMakeFiles/cosmos_tests.dir/test_failover.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_failover.cc.o.d"
+  "/root/repo/tests/test_fault_tolerance.cc" "tests/CMakeFiles/cosmos_tests.dir/test_fault_tolerance.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_fault_tolerance.cc.o.d"
+  "/root/repo/tests/test_filter_profile.cc" "tests/CMakeFiles/cosmos_tests.dir/test_filter_profile.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_filter_profile.cc.o.d"
+  "/root/repo/tests/test_grand_integration.cc" "tests/CMakeFiles/cosmos_tests.dir/test_grand_integration.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_grand_integration.cc.o.d"
+  "/root/repo/tests/test_grouping.cc" "tests/CMakeFiles/cosmos_tests.dir/test_grouping.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_grouping.cc.o.d"
+  "/root/repo/tests/test_implication.cc" "tests/CMakeFiles/cosmos_tests.dir/test_implication.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_implication.cc.o.d"
+  "/root/repo/tests/test_integration_merge.cc" "tests/CMakeFiles/cosmos_tests.dir/test_integration_merge.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_integration_merge.cc.o.d"
+  "/root/repo/tests/test_interval.cc" "tests/CMakeFiles/cosmos_tests.dir/test_interval.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_interval.cc.o.d"
+  "/root/repo/tests/test_lexer.cc" "tests/CMakeFiles/cosmos_tests.dir/test_lexer.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_lexer.cc.o.d"
+  "/root/repo/tests/test_merger.cc" "tests/CMakeFiles/cosmos_tests.dir/test_merger.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_merger.cc.o.d"
+  "/root/repo/tests/test_multiprocessor.cc" "tests/CMakeFiles/cosmos_tests.dir/test_multiprocessor.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_multiprocessor.cc.o.d"
+  "/root/repo/tests/test_multiway_join.cc" "tests/CMakeFiles/cosmos_tests.dir/test_multiway_join.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_multiway_join.cc.o.d"
+  "/root/repo/tests/test_optimizer.cc" "tests/CMakeFiles/cosmos_tests.dir/test_optimizer.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_optimizer.cc.o.d"
+  "/root/repo/tests/test_overlay.cc" "tests/CMakeFiles/cosmos_tests.dir/test_overlay.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_overlay.cc.o.d"
+  "/root/repo/tests/test_parser.cc" "tests/CMakeFiles/cosmos_tests.dir/test_parser.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_parser.cc.o.d"
+  "/root/repo/tests/test_presentation.cc" "tests/CMakeFiles/cosmos_tests.dir/test_presentation.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_presentation.cc.o.d"
+  "/root/repo/tests/test_processor.cc" "tests/CMakeFiles/cosmos_tests.dir/test_processor.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_processor.cc.o.d"
+  "/root/repo/tests/test_profile_composer.cc" "tests/CMakeFiles/cosmos_tests.dir/test_profile_composer.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_profile_composer.cc.o.d"
+  "/root/repo/tests/test_profile_dnf.cc" "tests/CMakeFiles/cosmos_tests.dir/test_profile_dnf.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_profile_dnf.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/cosmos_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_rate_estimator.cc" "tests/CMakeFiles/cosmos_tests.dir/test_rate_estimator.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_rate_estimator.cc.o.d"
+  "/root/repo/tests/test_relaxation.cc" "tests/CMakeFiles/cosmos_tests.dir/test_relaxation.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_relaxation.cc.o.d"
+  "/root/repo/tests/test_roundtrip_property.cc" "tests/CMakeFiles/cosmos_tests.dir/test_roundtrip_property.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_roundtrip_property.cc.o.d"
+  "/root/repo/tests/test_routing_table.cc" "tests/CMakeFiles/cosmos_tests.dir/test_routing_table.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_routing_table.cc.o.d"
+  "/root/repo/tests/test_schema_tuple.cc" "tests/CMakeFiles/cosmos_tests.dir/test_schema_tuple.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_schema_tuple.cc.o.d"
+  "/root/repo/tests/test_selftune.cc" "tests/CMakeFiles/cosmos_tests.dir/test_selftune.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_selftune.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/cosmos_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_simulated_system.cc" "tests/CMakeFiles/cosmos_tests.dir/test_simulated_system.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_simulated_system.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/cosmos_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_spe_aggregate.cc" "tests/CMakeFiles/cosmos_tests.dir/test_spe_aggregate.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_spe_aggregate.cc.o.d"
+  "/root/repo/tests/test_spe_join.cc" "tests/CMakeFiles/cosmos_tests.dir/test_spe_join.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_spe_join.cc.o.d"
+  "/root/repo/tests/test_spe_operators.cc" "tests/CMakeFiles/cosmos_tests.dir/test_spe_operators.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_spe_operators.cc.o.d"
+  "/root/repo/tests/test_spe_plan.cc" "tests/CMakeFiles/cosmos_tests.dir/test_spe_plan.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_spe_plan.cc.o.d"
+  "/root/repo/tests/test_splittable.cc" "tests/CMakeFiles/cosmos_tests.dir/test_splittable.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_splittable.cc.o.d"
+  "/root/repo/tests/test_statistics.cc" "tests/CMakeFiles/cosmos_tests.dir/test_statistics.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_statistics.cc.o.d"
+  "/root/repo/tests/test_status.cc" "tests/CMakeFiles/cosmos_tests.dir/test_status.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_status.cc.o.d"
+  "/root/repo/tests/test_string_util.cc" "tests/CMakeFiles/cosmos_tests.dir/test_string_util.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_string_util.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/cosmos_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_system_options.cc" "tests/CMakeFiles/cosmos_tests.dir/test_system_options.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_system_options.cc.o.d"
+  "/root/repo/tests/test_time.cc" "tests/CMakeFiles/cosmos_tests.dir/test_time.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_time.cc.o.d"
+  "/root/repo/tests/test_unparser.cc" "tests/CMakeFiles/cosmos_tests.dir/test_unparser.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_unparser.cc.o.d"
+  "/root/repo/tests/test_value.cc" "tests/CMakeFiles/cosmos_tests.dir/test_value.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_value.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/cosmos_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_workload.cc.o.d"
+  "/root/repo/tests/test_zipf.cc" "tests/CMakeFiles/cosmos_tests.dir/test_zipf.cc.o" "gcc" "tests/CMakeFiles/cosmos_tests.dir/test_zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_cbn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cosmos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
