@@ -2,12 +2,18 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "expr/implication.h"
 
 namespace cosmos {
 
 bool FilterCovers(const Filter& wide, const Filter& narrow) {
   if (wide.stream() != narrow.stream()) return false;
+  // Covering is implication of clauses; implication must at minimum be
+  // reflexive on live data or the cover relation loses its partial-order
+  // structure (Theorem 2 relies on it).
+  COSMOS_DCHECK(ClauseImplies(narrow.clause(), narrow.clause()))
+      << "implication not reflexive for " << narrow.stream();
   return ClauseImplies(narrow.clause(), wide.clause());
 }
 
@@ -84,6 +90,10 @@ Profile MergeProfiles(const Profile& a, const Profile& b) {
   }
   // Keep streams that either side requests unconditionally filter-free.
   for (const auto& f : kept) out.AddFilter(f);
+  // The merge is a relaxation: the merged profile must cover both inputs,
+  // or upstream routing would drop datagrams a subscriber still needs.
+  COSMOS_DCHECK(ProfileCovers(out, a)) << "merged profile fails to cover a";
+  COSMOS_DCHECK(ProfileCovers(out, b)) << "merged profile fails to cover b";
   return out;
 }
 

@@ -25,7 +25,7 @@ const std::set<NodeId>* ContentBasedNetwork::PublishersOf(
 }
 
 void ContentBasedNetwork::Advertise(NodeId node, const std::string& stream) {
-  COSMOS_CHECK(node >= 0 && node < num_nodes());
+  COSMOS_CHECK(node >= 0 && node < num_nodes()) << "node " << node;
   auto& publishers = advertisements_[stream];
   if (!publishers.insert(node).second) return;  // already advertised
   if (!options_.advertisement_scoping) return;
@@ -39,7 +39,7 @@ void ContentBasedNetwork::Advertise(NodeId node, const std::string& stream) {
 
 ProfileId ContentBasedNetwork::Subscribe(NodeId node, Profile profile,
                                          DeliveryCallback callback) {
-  COSMOS_CHECK(node >= 0 && node < num_nodes());
+  COSMOS_CHECK(node >= 0 && node < num_nodes()) << "node " << node;
   ProfileId id = next_profile_id_++;
   auto shared = std::make_shared<const Profile>(std::move(profile));
   routers_[node].AddLocal(id, shared, callback);
@@ -239,10 +239,11 @@ size_t ContentBasedNetwork::Process(NodeId node, NodeId from,
 }
 
 size_t ContentBasedNetwork::Publish(NodeId node, const Datagram& datagram) {
-  COSMOS_CHECK(node >= 0 && node < num_nodes());
+  COSMOS_CHECK(node >= 0 && node < num_nodes()) << "node " << node;
   if (options_.advertisement_scoping) {
     const std::set<NodeId>* publishers = PublishersOf(datagram.stream);
-    COSMOS_CHECK(publishers != nullptr && publishers->count(node) > 0);
+    COSMOS_CHECK(publishers != nullptr && publishers->count(node) > 0)
+        << "node " << node << " advertises a stream it never registered";
   }
   return Process(node, /*from=*/-1, datagram);
 }

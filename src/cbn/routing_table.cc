@@ -1,16 +1,22 @@
 #include "cbn/routing_table.h"
 
+#include "common/check.h"
+
 namespace cosmos {
 
 void RoutingTable::Add(NodeId link, ProfileId id, ProfilePtr profile) {
+  COSMOS_CHECK(profile != nullptr) << "routing entry " << id;
   per_link_[link].push_back(Entry{id, std::move(profile)});
+  COSMOS_DCHECK(CheckInvariants());
 }
 
 bool RoutingTable::AddUnique(NodeId link, ProfileId id, ProfilePtr profile) {
+  COSMOS_CHECK(profile != nullptr) << "routing entry " << id;
   for (const auto& e : per_link_[link]) {
     if (e.id == id) return false;
   }
   per_link_[link].push_back(Entry{id, std::move(profile)});
+  COSMOS_DCHECK(CheckInvariants());
   return true;
 }
 
@@ -22,6 +28,7 @@ bool RoutingTable::Remove(NodeId link, ProfileId id) {
     if (entries[i].id == id) {
       entries.erase(entries.begin() + static_cast<long>(i));
       if (entries.empty()) per_link_.erase(it);
+      COSMOS_DCHECK(CheckInvariants());
       return true;
     }
   }
@@ -46,7 +53,30 @@ size_t RoutingTable::RemoveEverywhere(ProfileId id) {
       ++it;
     }
   }
+  // The unsubscribe must leave no dangling entry for `id` on any link.
+  COSMOS_DCHECK_EQ(CountOf(id), 0u) << "dangling routing entries";
+  COSMOS_DCHECK(CheckInvariants());
   return removed;
+}
+
+size_t RoutingTable::CountOf(ProfileId id) const {
+  size_t count = 0;
+  for (const auto& [link, entries] : per_link_) {
+    for (const auto& e : entries) {
+      if (e.id == id) ++count;
+    }
+  }
+  return count;
+}
+
+bool RoutingTable::CheckInvariants() const {
+  for (const auto& [link, entries] : per_link_) {
+    if (entries.empty()) return false;  // empty lists must be erased
+    for (const auto& e : entries) {
+      if (e.profile == nullptr) return false;
+    }
+  }
+  return true;
 }
 
 const std::vector<RoutingTable::Entry>& RoutingTable::EntriesFor(

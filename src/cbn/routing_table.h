@@ -47,6 +47,14 @@ class RoutingTable {
 
   size_t TotalEntries() const;
 
+  // Number of entries across all links carrying `id`.
+  size_t CountOf(ProfileId id) const;
+
+  // Structural invariants: no link maps to an empty entry list, no entry
+  // holds a null profile. DCHECK'd after every mutation so a dangling
+  // subscription cannot survive an unsubscribe unnoticed.
+  bool CheckInvariants() const;
+
  private:
   std::map<NodeId, std::vector<Entry>> per_link_;
 };

@@ -1,0 +1,22 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cosmos {
+namespace internal {
+
+CheckFailureStream::CheckFailureStream(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  stream_ << kind << " failed at " << file << ":" << line << ": " << expr
+          << " ";
+}
+
+CheckFailureStream::~CheckFailureStream() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cosmos

@@ -1,0 +1,125 @@
+#ifndef COSMOS_COMMON_CHECK_H_
+#define COSMOS_COMMON_CHECK_H_
+
+#include <sstream>
+#include <utility>
+
+// Runtime invariant checking.
+//
+// COSMOS_CHECK(cond)            — always on, aborts with the expression text.
+// COSMOS_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+//                               — always on, additionally prints both values.
+// COSMOS_DCHECK* family         — same shapes, compiled out under NDEBUG
+//                                 (operands stay syntactically live, so a
+//                                 release build cannot rot a debug check).
+//
+// All forms accept streamed context:
+//
+//   COSMOS_CHECK_LE(lo, hi) << "interval for attribute " << name;
+//
+// Checks guard internal invariants — conditions that are bugs when false.
+// Recoverable conditions (bad user input, I/O) use Status/Result instead.
+
+namespace cosmos {
+namespace internal {
+
+// Accumulates the failure message for a check that fired; emits it to
+// stderr and aborts in the destructor.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* expr, const char* file,
+                     int line);
+  ~CheckFailureStream();
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows everything streamed into it; the release-mode DCHECK sink.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace cosmos
+
+// The switch wrapper makes the macros dangling-else safe; the else branch
+// keeps streamed context (`COSMOS_CHECK(x) << "why"`) attached to the
+// failure message.
+#define COSMOS_CHECK(cond)                                                 \
+  switch (0)                                                               \
+  case 0:                                                                  \
+  default:                                                                 \
+    if (__builtin_expect(static_cast<bool>(cond), 1)) {                    \
+    } else                                                                 \
+      ::cosmos::internal::CheckFailureStream("CHECK", #cond, __FILE__,     \
+                                             __LINE__)
+
+#define COSMOS_CHECK_OP_(kind, op, a, b)                                    \
+  switch (0)                                                                \
+  case 0:                                                                   \
+  default:                                                                  \
+    if (auto _cosmos_vals = ::std::make_pair((a), (b));                     \
+        __builtin_expect(                                                   \
+            static_cast<bool>(_cosmos_vals.first op _cosmos_vals.second),   \
+            1)) {                                                           \
+    } else                                                                  \
+      ::cosmos::internal::CheckFailureStream(kind, #a " " #op " " #b,       \
+                                             __FILE__, __LINE__)            \
+          << "(" << _cosmos_vals.first << " vs " << _cosmos_vals.second     \
+          << ") "
+
+#define COSMOS_CHECK_EQ(a, b) COSMOS_CHECK_OP_("CHECK", ==, a, b)
+#define COSMOS_CHECK_NE(a, b) COSMOS_CHECK_OP_("CHECK", !=, a, b)
+#define COSMOS_CHECK_LT(a, b) COSMOS_CHECK_OP_("CHECK", <, a, b)
+#define COSMOS_CHECK_LE(a, b) COSMOS_CHECK_OP_("CHECK", <=, a, b)
+#define COSMOS_CHECK_GT(a, b) COSMOS_CHECK_OP_("CHECK", >, a, b)
+#define COSMOS_CHECK_GE(a, b) COSMOS_CHECK_OP_("CHECK", >=, a, b)
+
+#ifdef NDEBUG
+
+// Operands remain odr-used inside the short-circuited condition so release
+// builds still type-check them, but nothing is evaluated at runtime.
+#define COSMOS_DCHECK(cond) \
+  while (false && static_cast<bool>(cond)) ::cosmos::internal::NullStream()
+#define COSMOS_DCHECK_EQ(a, b) COSMOS_DCHECK((a) == (b))
+#define COSMOS_DCHECK_NE(a, b) COSMOS_DCHECK((a) != (b))
+#define COSMOS_DCHECK_LT(a, b) COSMOS_DCHECK((a) < (b))
+#define COSMOS_DCHECK_LE(a, b) COSMOS_DCHECK((a) <= (b))
+#define COSMOS_DCHECK_GT(a, b) COSMOS_DCHECK((a) > (b))
+#define COSMOS_DCHECK_GE(a, b) COSMOS_DCHECK((a) >= (b))
+
+#else  // !NDEBUG
+
+#define COSMOS_DCHECK(cond)                                                \
+  switch (0)                                                               \
+  case 0:                                                                  \
+  default:                                                                 \
+    if (__builtin_expect(static_cast<bool>(cond), 1)) {                    \
+    } else                                                                 \
+      ::cosmos::internal::CheckFailureStream("DCHECK", #cond, __FILE__,    \
+                                             __LINE__)
+
+#define COSMOS_DCHECK_EQ(a, b) COSMOS_CHECK_OP_("DCHECK", ==, a, b)
+#define COSMOS_DCHECK_NE(a, b) COSMOS_CHECK_OP_("DCHECK", !=, a, b)
+#define COSMOS_DCHECK_LT(a, b) COSMOS_CHECK_OP_("DCHECK", <, a, b)
+#define COSMOS_DCHECK_LE(a, b) COSMOS_CHECK_OP_("DCHECK", <=, a, b)
+#define COSMOS_DCHECK_GT(a, b) COSMOS_CHECK_OP_("DCHECK", >, a, b)
+#define COSMOS_DCHECK_GE(a, b) COSMOS_CHECK_OP_("DCHECK", >=, a, b)
+
+#endif  // NDEBUG
+
+#endif  // COSMOS_COMMON_CHECK_H_

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 
 namespace cosmos {
 namespace {
@@ -50,11 +49,6 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) std::fprintf(stderr, "%s\n", stream_.str().c_str());
-}
-
-void CheckFailed(const char* expr, const char* file, int line) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::abort();
 }
 
 }  // namespace internal

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/check.h"  // historical home of COSMOS_CHECK; keep exporting it
+
 namespace cosmos {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
@@ -41,18 +43,6 @@ class LogMessage {
 #define COSMOS_LOG(level)                                               \
   ::cosmos::internal::LogMessage(::cosmos::LogLevel::k##level, __FILE__, \
                                  __LINE__)
-
-// Fatal invariant check: aborts with the expression text when violated.
-#define COSMOS_CHECK(cond)                                           \
-  do {                                                               \
-    if (!(cond)) {                                                   \
-      ::cosmos::internal::CheckFailed(#cond, __FILE__, __LINE__);    \
-    }                                                                \
-  } while (false)
-
-namespace internal {
-[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
-}  // namespace internal
 
 }  // namespace cosmos
 

@@ -1,5 +1,8 @@
 #include "core/grouping.h"
 
+#include <cmath>
+
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace cosmos {
@@ -95,6 +98,14 @@ Result<GroupingEngine::AddResult> GroupingEngine::AddQuery(
       g.representative_rate =
           estimator_.EstimateOutputRate(g.representative);
       query_to_group_[query_id] = best_group;
+      // ComposeRepresentative's postcondition (Theorem 1/2 containment):
+      // the group representative answers every member, in particular the
+      // newcomer — otherwise the user profile cannot re-tighten its results
+      // out of the group stream.
+      COSMOS_DCHECK(QueryContains(g.representative, query))
+          << "representative of group " << best_group
+          << " does not contain query '" << query_id << "'";
+      COSMOS_DCHECK(CheckInvariants());
       result.group_id = best_group;
       result.created_new_group = false;
       result.representative_changed = widened;
@@ -125,6 +136,7 @@ Result<GroupingEngine::AddResult> GroupingEngine::AddQuery(
   query_to_group_[query_id] = g.group_id;
   by_signature_.emplace(signature, g.group_id);
   groups_.emplace(g.group_id, std::move(g));
+  COSMOS_DCHECK(CheckInvariants());
   return result;
 }
 
@@ -158,13 +170,44 @@ Result<GroupingEngine::AddResult> GroupingEngine::RemoveQuery(
     }
     groups_.erase(gid);
     result.representative_changed = true;
+    COSMOS_DCHECK(CheckInvariants());
     return result;
   }
   ++g.version;
   COSMOS_ASSIGN_OR_RETURN(g.representative, Recompose(g));
   g.representative_rate = estimator_.EstimateOutputRate(g.representative);
   result.representative_changed = true;
+  COSMOS_DCHECK(CheckInvariants());
   return result;
+}
+
+bool GroupingEngine::CheckInvariants() const {
+  size_t total_members = 0;
+  for (const auto& [gid, g] : groups_) {
+    if (g.members.empty()) return false;  // empty groups must be dropped
+    if (g.member_ids.size() != g.members.size()) return false;
+    if (g.version == 0) return false;  // versions start at 1 and only grow
+    // Group cost must stay a usable quantity: merging can only produce a
+    // finite, non-negative estimated representative rate.
+    if (!(g.representative_rate >= 0.0) ||
+        std::isinf(g.representative_rate)) {
+      return false;
+    }
+    for (const auto& id : g.member_ids) {
+      auto it = query_to_group_.find(id);
+      if (it == query_to_group_.end() || it->second != gid) return false;
+      ++total_members;
+    }
+    // Exactly one signature-index entry per group.
+    size_t hits = 0;
+    auto [begin, end] = by_signature_.equal_range(g.signature);
+    for (auto it2 = begin; it2 != end; ++it2) {
+      if (it2->second == gid) ++hits;
+    }
+    if (hits != 1) return false;
+  }
+  // Every grouped query is a member of exactly one group.
+  return total_members == query_to_group_.size();
 }
 
 double GroupingEngine::GroupingRatio() const {

@@ -71,6 +71,12 @@ class GroupingEngine {
 
   const RateEstimator& rate_estimator() const { return estimator_; }
 
+  // Bookkeeping invariants (DCHECK'd after every mutation): every grouped
+  // query maps to a live group, member lists and the query index agree,
+  // the signature index holds each group exactly once, and estimated group
+  // costs are finite and non-negative.
+  bool CheckInvariants() const;
+
  private:
   Result<AnalyzedQuery> Recompose(QueryGroup& group);
 

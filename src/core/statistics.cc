@@ -7,7 +7,7 @@
 namespace cosmos {
 
 RateMonitor::RateMonitor(Duration window) : window_(window) {
-  COSMOS_CHECK(window > 0);
+  COSMOS_CHECK_GT(window, 0);
 }
 
 void RateMonitor::Record(const std::string& stream, Timestamp ts,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace cosmos {
@@ -14,6 +15,12 @@ Interval::Interval(double lo, bool lo_open, double hi, bool hi_open)
   if (lo_ == -kInf) lo_open_ = true;
   if (hi_ == kInf) hi_open_ = true;
   if (IsEmpty()) *this = Empty();
+  // Normalization invariant: every non-empty interval satisfies lo <= hi,
+  // and the empty interval is in canonical form (so operator== stays a
+  // field-wise comparison).
+  COSMOS_DCHECK(IsEmpty() ? (lo_ == 1.0 && hi_ == 0.0) : lo_ <= hi_)
+      << "unnormalized interval " << ToString();
+  COSMOS_DCHECK(lo_ == lo_ && hi_ == hi_) << "NaN interval endpoint";
 }
 
 Interval Interval::Empty() {
@@ -68,6 +75,9 @@ Interval Interval::Intersect(const Interval& other) const {
   }
   Interval out(lo, lo_open, hi, hi_open);
   if (out.IsEmpty()) return Empty();
+  // The intersection lies inside both operands.
+  COSMOS_DCHECK(Covers(out) && other.Covers(out))
+      << ToString() << " ∩ " << other.ToString() << " = " << out.ToString();
   return out;
 }
 
@@ -98,7 +108,11 @@ Interval Interval::Hull(const Interval& other) const {
     hi = hi_;
     hi_open = hi_open_ && other.hi_open_;
   }
-  return Interval(lo, lo_open, hi, hi_open);
+  Interval out(lo, lo_open, hi, hi_open);
+  // The hull is a relaxation: it must cover both operands.
+  COSMOS_DCHECK(out.Covers(*this) && out.Covers(other))
+      << ToString() << " ∪ " << other.ToString() << " ⊄ " << out.ToString();
+  return out;
 }
 
 bool Interval::UnionIsExact(const Interval& other) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace cosmos {
@@ -51,6 +52,9 @@ Result<DisseminationTree> DisseminationTree::FromEdges(
   if (visited != num_nodes) {
     return Status::InvalidArgument("edges do not form a connected tree");
   }
+  // n nodes, n-1 distinct edges, connected => acyclic; re-assert the edge
+  // bookkeeping that the invariant rests on.
+  COSMOS_DCHECK_EQ(t.edges_.size(), static_cast<size_t>(num_nodes) - 1);
   return t;
 }
 
@@ -96,6 +100,17 @@ std::vector<NodeId> DisseminationTree::Path(NodeId from, NodeId to) const {
   if (parent[to] == -2) return path;
   for (NodeId v = to; v != -1; v = parent[v]) path.push_back(v);
   std::reverse(path.begin(), path.end());
+  // Parent-pointer consistency: the reconstructed path starts and ends at
+  // the endpoints, every hop is a real tree edge, and — trees having unique
+  // simple paths — no node repeats (a repeat would mean a cycle).
+  COSMOS_DCHECK(!path.empty() && path.front() == from && path.back() == to);
+  COSMOS_DCHECK(path.size() <= static_cast<size_t>(num_nodes()))
+      << "path revisits a node: cycle in dissemination tree";
+  for (size_t i = 1; i < path.size(); ++i) {
+    COSMOS_DCHECK(HasEdge(path[i - 1], path[i]))
+        << "path hop (" << path[i - 1] << "," << path[i]
+        << ") is not a tree edge";
+  }
   return path;
 }
 

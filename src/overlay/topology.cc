@@ -33,7 +33,7 @@ double LinkWeight(const std::pair<double, double>& a,
 }  // namespace
 
 Topology GenerateBarabasiAlbert(const TopologyOptions& options) {
-  COSMOS_CHECK(options.num_nodes >= 2);
+  COSMOS_CHECK_GE(options.num_nodes, 2);
   const int m = std::max(1, options.ba_edges_per_node);
   Rng rng(options.seed);
 
@@ -87,7 +87,7 @@ Topology GenerateBarabasiAlbert(const TopologyOptions& options) {
 }
 
 Topology GenerateWaxman(const TopologyOptions& options) {
-  COSMOS_CHECK(options.num_nodes >= 2);
+  COSMOS_CHECK_GE(options.num_nodes, 2);
   Rng rng(options.seed);
 
   Topology topo;
@@ -126,7 +126,7 @@ Topology GenerateWaxman(const TopologyOptions& options) {
         }
       }
     }
-    COSMOS_CHECK(best_u >= 0);
+    COSMOS_CHECK_GE(best_u, 0) << "Waxman attachment found no candidate";
     (void)topo.graph.AddEdge(best_u, best_v,
                              LinkWeight(topo.coordinates[best_u],
                                         topo.coordinates[best_v]));

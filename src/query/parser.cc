@@ -1,5 +1,6 @@
 #include "query/parser.h"
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "query/lexer.h"
 
@@ -11,7 +12,14 @@ namespace {
 // primary.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {
+    // Peek/Advance clamp the cursor to the last token; that arithmetic
+    // (tokens_.size() - 1) requires a non-empty stream terminated by kEnd,
+    // which the lexer guarantees.
+    COSMOS_CHECK(!tokens_.empty()) << "lexer emitted an empty token stream";
+    COSMOS_CHECK(tokens_.back().type == TokenType::kEnd)
+        << "token stream not kEnd-terminated";
+  }
 
   Result<ParsedQuery> ParseQueryStatement() {
     ParsedQuery q;

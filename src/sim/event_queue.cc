@@ -28,11 +28,12 @@ Timestamp EventQueue::NextTime() const {
 
 std::pair<Timestamp, EventQueue::Callback> EventQueue::Pop() {
   SkipTombstones();
-  COSMOS_CHECK(!heap_.empty());
+  COSMOS_CHECK(!heap_.empty()) << "Pop() on empty event queue";
   Entry e = heap_.top();
   heap_.pop();
   auto it = callbacks_.find(e.seq);
-  COSMOS_CHECK(it != callbacks_.end());
+  COSMOS_CHECK(it != callbacks_.end())
+      << "heap entry " << e.seq << " lost its callback";
   Callback cb = std::move(it->second);
   callbacks_.erase(it);
   return {e.when, std::move(cb)};

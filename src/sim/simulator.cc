@@ -5,19 +5,20 @@
 namespace cosmos {
 
 uint64_t Simulator::Schedule(Duration delay, EventQueue::Callback cb) {
-  COSMOS_CHECK(delay >= 0);
+  COSMOS_CHECK_GE(delay, 0) << "negative schedule delay";
   return queue_.Push(now_ + delay, std::move(cb));
 }
 
 uint64_t Simulator::ScheduleAt(Timestamp when, EventQueue::Callback cb) {
-  COSMOS_CHECK(when >= now_);
+  COSMOS_CHECK_GE(when, now_) << "ScheduleAt into the past";
   return queue_.Push(when, std::move(cb));
 }
 
 bool Simulator::Step() {
   if (queue_.Empty()) return false;
   auto [when, cb] = queue_.Pop();
-  COSMOS_CHECK(when >= now_);
+  // Virtual time is monotone: the queue can never yield a past event.
+  COSMOS_CHECK_GE(when, now_) << "event queue yielded a past event";
   now_ = when;
   cb();
   return true;

@@ -6,7 +6,7 @@ namespace cosmos {
 
 bool WindowAggregateOperator::KeyLess::operator()(
     const std::vector<Value>& a, const std::vector<Value>& b) const {
-  COSMOS_CHECK(a.size() == b.size());
+  COSMOS_CHECK_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     auto cmp = a[i].Compare(b[i]);
     if (cmp.ok()) {

@@ -125,7 +125,7 @@ void WindowJoinOperator::Probe(const Tuple& arriving, bool arriving_is_left) {
 }
 
 void WindowJoinOperator::Push(size_t port, const Tuple& tuple) {
-  COSMOS_CHECK(port == 0 || port == 1);
+  COSMOS_CHECK(port == 0 || port == 1) << "binary join got port " << port;
   Probe(tuple, port == 0);
 }
 

@@ -27,7 +27,7 @@ MultiWayJoinOperator::MultiWayJoinOperator(
       keys_(std::move(keys)),
       residual_(std::move(residual)),
       output_schema_(std::move(output_schema)) {
-  COSMOS_CHECK(windows_.size() >= 2);
+  COSMOS_CHECK_GE(windows_.size(), 2u) << "multiway join needs >= 2 inputs";
   buffers_.reserve(windows_.size());
   for (Duration w : windows_) buffers_.emplace_back(w);
 }
@@ -108,7 +108,7 @@ void MultiWayJoinOperator::Extend(size_t next_port, size_t arrival_port,
 }
 
 void MultiWayJoinOperator::Push(size_t port, const Tuple& tuple) {
-  COSMOS_CHECK(port < buffers_.size());
+  COSMOS_CHECK_LT(port, buffers_.size());
   const Timestamp now = tuple.timestamp();
   // Evict every buffer against its own window at the arrival's event time.
   for (size_t j = 0; j < buffers_.size(); ++j) {

@@ -9,8 +9,8 @@ namespace cosmos {
 
 AuctionDataset::AuctionDataset(AuctionDatasetOptions options)
     : options_(options) {
-  COSMOS_CHECK(options_.num_auctions > 0);
-  COSMOS_CHECK(options_.min_duration <= options_.max_duration);
+  COSMOS_CHECK_GT(options_.num_auctions, 0);
+  COSMOS_CHECK_LE(options_.min_duration, options_.max_duration);
 }
 
 std::shared_ptr<const Schema> AuctionDataset::OpenAuctionSchema() {

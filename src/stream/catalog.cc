@@ -9,7 +9,7 @@ namespace cosmos {
 
 Catalog::Catalog(DirectoryMode mode, int num_directory_nodes)
     : mode_(mode), num_directory_nodes_(num_directory_nodes) {
-  COSMOS_CHECK(num_directory_nodes_ >= 1);
+  COSMOS_CHECK_GE(num_directory_nodes_, 1);
 }
 
 Status Catalog::RegisterStream(std::shared_ptr<const Schema> schema,

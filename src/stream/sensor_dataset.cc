@@ -36,8 +36,8 @@ constexpr size_t kNumMeasurements =
 
 SensorDataset::SensorDataset(SensorDatasetOptions options)
     : options_(options) {
-  COSMOS_CHECK(options_.num_stations > 0);
-  COSMOS_CHECK(options_.sampling_period > 0);
+  COSMOS_CHECK_GT(options_.num_stations, 0);
+  COSMOS_CHECK_GT(options_.sampling_period, 0);
 }
 
 std::string SensorDataset::StreamName(int station) {

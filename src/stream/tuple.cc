@@ -11,7 +11,8 @@ Tuple::Tuple(std::shared_ptr<const Schema> schema, std::vector<Value> values,
       values_(std::move(values)),
       timestamp_(timestamp) {
   COSMOS_CHECK(schema_ != nullptr);
-  COSMOS_CHECK(values_.size() == schema_->num_attributes());
+  COSMOS_CHECK_EQ(values_.size(), schema_->num_attributes())
+      << "tuple width does not match schema " << schema_->stream_name();
 }
 
 Result<Value> Tuple::GetAttribute(const std::string& name) const {
@@ -38,7 +39,7 @@ Tuple Tuple::Project(const std::vector<size_t>& indices,
   std::vector<Value> out;
   out.reserve(indices.size());
   for (size_t i : indices) {
-    COSMOS_CHECK(i < values_.size());
+    COSMOS_CHECK_LT(i, values_.size());
     out.push_back(values_[i]);
   }
   return Tuple(std::move(projected_schema), std::move(out), timestamp_);

@@ -1,0 +1,226 @@
+// Boundary-case coverage for expr/interval and expr/implication: empty
+// intervals in every algebraic position, INT64 min/max endpoints (the values
+// UBSan flags first when double<->int conversions go wrong), and all
+// open/closed combinations at shared endpoints.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "expr/implication.h"
+#include "expr/interval.h"
+
+namespace cosmos {
+namespace {
+
+constexpr double kInt64Min =
+    static_cast<double>(std::numeric_limits<int64_t>::min());
+constexpr double kInt64Max =
+    static_cast<double>(std::numeric_limits<int64_t>::max());
+
+// ---------------------------------------------------------------- interval
+
+TEST(IntervalBoundary, EmptyIsAbsorbingForIntersect) {
+  Interval e = Interval::Empty();
+  Interval i(1.0, false, 5.0, false);
+  EXPECT_TRUE(e.Intersect(i).IsEmpty());
+  EXPECT_TRUE(i.Intersect(e).IsEmpty());
+  EXPECT_TRUE(e.Intersect(e).IsEmpty());
+  EXPECT_TRUE(e.Intersect(Interval::All()).IsEmpty());
+}
+
+TEST(IntervalBoundary, EmptyIsIdentityForHull) {
+  Interval e = Interval::Empty();
+  Interval i(1.0, true, 5.0, false);
+  EXPECT_EQ(e.Hull(i), i);
+  EXPECT_EQ(i.Hull(e), i);
+  EXPECT_TRUE(e.Hull(e).IsEmpty());
+}
+
+TEST(IntervalBoundary, EmptyCoveringRules) {
+  Interval e = Interval::Empty();
+  Interval i(1.0, false, 5.0, false);
+  EXPECT_TRUE(i.Covers(e));   // everything covers the empty set
+  EXPECT_FALSE(e.Covers(i));  // the empty set covers nothing non-empty
+  EXPECT_TRUE(e.Covers(e));
+  EXPECT_TRUE(e.UnionIsExact(i));  // union with empty adds no points
+}
+
+TEST(IntervalBoundary, EmptyConstructionsAreCanonicallyEqual) {
+  // Every way of producing emptiness compares equal to canonical Empty().
+  EXPECT_EQ(Interval(2.0, false, 1.0, false), Interval::Empty());
+  EXPECT_EQ(Interval(3.0, true, 3.0, false), Interval::Empty());
+  EXPECT_EQ(Interval(3.0, false, 3.0, true), Interval::Empty());
+  EXPECT_EQ(Interval(1.0, false, 5.0, false).Intersect(
+                Interval(6.0, false, 9.0, false)),
+            Interval::Empty());
+}
+
+TEST(IntervalBoundary, Int64ExtremesAsEndpoints) {
+  Interval full(kInt64Min, false, kInt64Max, false);
+  EXPECT_FALSE(full.IsEmpty());
+  EXPECT_TRUE(full.Contains(0.0));
+  EXPECT_TRUE(full.Contains(kInt64Min));
+  EXPECT_TRUE(full.Contains(kInt64Max));
+  EXPECT_FALSE(full.IsAll());  // finite endpoints are not (-inf, +inf)
+
+  Interval min_point = Interval::Point(kInt64Min);
+  EXPECT_TRUE(min_point.IsPoint());
+  EXPECT_TRUE(full.Covers(min_point));
+  EXPECT_TRUE(Interval::All().Covers(full));
+
+  // Intersecting the extremes with a narrower window keeps the window.
+  Interval window(-10.0, false, 10.0, false);
+  EXPECT_EQ(full.Intersect(window), window);
+  EXPECT_EQ(full.Hull(window), full);
+}
+
+TEST(IntervalBoundary, Int64ExtremePointsDisjoint) {
+  Interval lo_point = Interval::Point(kInt64Min);
+  Interval hi_point = Interval::Point(kInt64Max);
+  EXPECT_TRUE(lo_point.Intersect(hi_point).IsEmpty());
+  Interval hull = lo_point.Hull(hi_point);
+  EXPECT_EQ(hull, Interval(kInt64Min, false, kInt64Max, false));
+  EXPECT_FALSE(lo_point.UnionIsExact(hi_point));
+}
+
+TEST(IntervalBoundary, TouchingEndpointsOpenClosedMatrix) {
+  // All four open/closed combinations of two intervals sharing endpoint 5.
+  struct Case {
+    bool left_hi_open;
+    bool right_lo_open;
+    bool union_exact;       // hull introduces no spurious points
+    bool intersect_nonempty;  // they share the touch point
+  };
+  const Case cases[] = {
+      {false, false, true, true},   // [..5] [5..]: share 5
+      {false, true, true, false},   // [..5] (5..]: exact, 5 on left only
+      {true, false, true, false},   // [..5) [5..]: exact, 5 on right only
+      {true, true, false, false},   // [..5) (5..]: hole at 5
+  };
+  for (const auto& c : cases) {
+    Interval left(0.0, false, 5.0, c.left_hi_open);
+    Interval right(5.0, c.right_lo_open, 10.0, false);
+    EXPECT_EQ(left.UnionIsExact(right), c.union_exact)
+        << left.ToString() << " vs " << right.ToString();
+    EXPECT_EQ(right.UnionIsExact(left), c.union_exact)
+        << right.ToString() << " vs " << left.ToString();
+    EXPECT_EQ(!left.Intersect(right).IsEmpty(), c.intersect_nonempty)
+        << left.ToString() << " vs " << right.ToString();
+    // The hull never depends on openness at the interior touch point.
+    EXPECT_EQ(left.Hull(right), Interval(0.0, false, 10.0, false));
+  }
+}
+
+TEST(IntervalBoundary, SharedEndpointCoverRequiresClosedness) {
+  Interval closed(0.0, false, 5.0, false);
+  Interval half(0.0, false, 5.0, true);
+  EXPECT_TRUE(closed.Covers(half));
+  EXPECT_FALSE(half.Covers(closed));  // missing the point 5
+  EXPECT_TRUE(closed.Covers(closed));
+  EXPECT_TRUE(half.Covers(half));
+}
+
+TEST(IntervalBoundary, SelectivityDegenerateRanges) {
+  Interval i(1.0, false, 5.0, false);
+  // Degenerate declared range collapses to point-membership.
+  EXPECT_EQ(i.SelectivityWithin(3.0, 3.0), 1.0);
+  EXPECT_EQ(i.SelectivityWithin(9.0, 9.0), 0.0);
+  EXPECT_EQ(Interval::Empty().SelectivityWithin(0.0, 1.0), 0.0);
+  // Point interval inside the range selects the equality sliver.
+  EXPECT_GT(Interval::Point(2.0).SelectivityWithin(0.0, 10.0), 0.0);
+  // Intervals entirely outside the range select nothing.
+  EXPECT_EQ(i.SelectivityWithin(100.0, 200.0), 0.0);
+}
+
+TEST(IntervalBoundary, UnboundedEndpointsNormalizeToOpen) {
+  // A "closed" infinite endpoint is meaningless; construction normalizes.
+  Interval i(-Interval::kInf, false, 3.0, false);
+  EXPECT_TRUE(i.lo_open());
+  EXPECT_TRUE(i.lo_unbounded());
+  Interval j(3.0, false, Interval::kInf, false);
+  EXPECT_TRUE(j.hi_open());
+  EXPECT_TRUE(j.hi_unbounded());
+  EXPECT_TRUE(Interval::All().Covers(i));
+  EXPECT_TRUE(i.Hull(j).IsAll());
+}
+
+// ------------------------------------------------------------- implication
+
+ConjunctiveClause RangeClause(const std::string& attr, const Interval& i) {
+  ConjunctiveClause c;
+  c.ConstrainInterval(attr, i);
+  return c;
+}
+
+TEST(ImplicationBoundary, EmptyIntervalClauseImpliesEverything) {
+  ConjunctiveClause unsat = RangeClause("a", Interval::Empty());
+  ASSERT_TRUE(unsat.IsUnsatisfiable());
+  EXPECT_TRUE(ClauseImplies(unsat, RangeClause("b", Interval::Point(3.0))));
+  EXPECT_TRUE(ClauseImplies(unsat, ConjunctiveClause{}));
+  // Nothing non-trivial implies the unsatisfiable clause.
+  EXPECT_FALSE(
+      ClauseImplies(RangeClause("a", Interval::Point(1.0)), unsat));
+}
+
+TEST(ImplicationBoundary, Int64ExtremeRanges) {
+  ConjunctiveClause full =
+      RangeClause("a", Interval(kInt64Min, false, kInt64Max, false));
+  ConjunctiveClause narrow =
+      RangeClause("a", Interval(-100.0, false, 100.0, false));
+  EXPECT_TRUE(ClauseImplies(narrow, full));
+  EXPECT_FALSE(ClauseImplies(full, narrow));
+
+  // Point constraints at the extremes imply the containing range and stay
+  // disjoint from each other.
+  ConjunctiveClause at_min = RangeClause("a", Interval::Point(kInt64Min));
+  ConjunctiveClause at_max = RangeClause("a", Interval::Point(kInt64Max));
+  EXPECT_TRUE(ClauseImplies(at_min, full));
+  EXPECT_TRUE(ClauseImplies(at_max, full));
+  EXPECT_TRUE(ClauseDisjoint(at_min, at_max));
+  EXPECT_FALSE(ClauseDisjoint(at_min, full));
+}
+
+TEST(ImplicationBoundary, OpenClosedEdgeImplication) {
+  // (0, 5) implies [0, 5]; the converse fails at both edges.
+  ConjunctiveClause open_c = RangeClause("a", Interval(0.0, true, 5.0, true));
+  ConjunctiveClause closed_c =
+      RangeClause("a", Interval(0.0, false, 5.0, false));
+  EXPECT_TRUE(ClauseImplies(open_c, closed_c));
+  EXPECT_FALSE(ClauseImplies(closed_c, open_c));
+
+  // Same bounds, same openness: mutual implication (equivalence).
+  EXPECT_TRUE(ClauseEquivalent(open_c, open_c));
+  EXPECT_TRUE(ClauseEquivalent(closed_c, closed_c));
+  EXPECT_FALSE(ClauseEquivalent(open_c, closed_c));
+}
+
+TEST(ImplicationBoundary, TouchingOpenIntervalsAreDisjoint) {
+  // a < 5 and a > 5 never both hold; a <= 5 and a >= 5 share the point.
+  ConjunctiveClause below = RangeClause("a", Interval::AtMost(5.0, true));
+  ConjunctiveClause above = RangeClause("a", Interval::AtLeast(5.0, true));
+  EXPECT_TRUE(ClauseDisjoint(below, above));
+  ConjunctiveClause below_eq = RangeClause("a", Interval::AtMost(5.0));
+  ConjunctiveClause above_eq = RangeClause("a", Interval::AtLeast(5.0));
+  EXPECT_FALSE(ClauseDisjoint(below_eq, above_eq));
+}
+
+TEST(ImplicationBoundary, DnfWithEmptyAndExtremeClauses) {
+  std::vector<ConjunctiveClause> narrow = {
+      RangeClause("a", Interval::Point(kInt64Min)),
+      RangeClause("a", Interval::Point(kInt64Max)),
+  };
+  std::vector<ConjunctiveClause> wide = {
+      RangeClause("a", Interval(kInt64Min, false, kInt64Max, false)),
+  };
+  EXPECT_TRUE(DnfImplies(narrow, wide));
+  EXPECT_FALSE(DnfImplies(wide, narrow));
+
+  // An unsatisfiable disjunct is absorbed on the left.
+  narrow.push_back(RangeClause("a", Interval::Empty()));
+  EXPECT_TRUE(DnfImplies(narrow, wide));
+}
+
+}  // namespace
+}  // namespace cosmos

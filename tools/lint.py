@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Repo-local lint rules clang-tidy cannot express.
+
+Checked over src/, tests/, bench/, examples/:
+
+  1. header-guards    — every header uses an #ifndef/#define guard whose
+                        token matches its path (COSMOS_<PATH>_H_); no
+                        #pragma once (the repo standardized on guards).
+  2. using-namespace  — no `using namespace` at any scope in headers.
+  3. own-header-first — every src/ .cc file with a sibling header includes
+                        that header as its first #include (catches headers
+                        that silently depend on prior includes).
+  4. no-build-include — no #include path mentioning build/ (generated
+                        trees must never be an include source).
+
+Exit status 0 when clean, 1 with one "file:line: rule: message" diagnostic
+per violation otherwise. Registered as the `lint` ctest entry.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ["src", "tests", "bench", "examples"]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^>"]+[>"])')
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+
+def guard_token(header: Path) -> str:
+    """COSMOS_<PATH>_H_ for a header path relative to its source root."""
+    rel = header.relative_to(REPO)
+    parts = list(rel.parts)
+    if parts[0] == "src":  # src/ is the include root; others keep their dir
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    return "COSMOS_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def strip_comments(lines: list[str]) -> list[str]:
+    """Blank out // and /* */ comment content, preserving line numbers."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            else:
+                line_c = line.find("//", i)
+                block_c = line.find("/*", i)
+                if line_c != -1 and (block_c == -1 or line_c < block_c):
+                    result.append(line[i:line_c])
+                    i = len(line)
+                elif block_c != -1:
+                    result.append(line[i:block_c])
+                    in_block = True
+                    i = block_c + 2
+                else:
+                    result.append(line[i:])
+                    i = len(line)
+        out.append("".join(result))
+    return out
+
+
+def check_header(path: Path, lines: list[str], errors: list[str]) -> None:
+    rel = path.relative_to(REPO)
+    code = strip_comments(lines)
+
+    for n, line in enumerate(code, 1):
+        if PRAGMA_ONCE_RE.match(line):
+            errors.append(
+                f"{rel}:{n}: header-guards: use an include guard "
+                f"({guard_token(path)}), not #pragma once"
+            )
+        if USING_NAMESPACE_RE.match(line):
+            errors.append(
+                f"{rel}:{n}: using-namespace: `using namespace` leaks into "
+                "every includer; qualify names instead"
+            )
+
+    want = guard_token(path)
+    ifndef = next((m for line in code if (m := IFNDEF_RE.match(line))), None)
+    if ifndef is None:
+        errors.append(f"{rel}:1: header-guards: missing #ifndef {want} guard")
+        return
+    if ifndef.group(1) != want:
+        errors.append(
+            f"{rel}:1: header-guards: guard {ifndef.group(1)} does not "
+            f"match path (expected {want})"
+        )
+        return
+    define = next((m for line in code if (m := DEFINE_RE.match(line))), None)
+    if define is None or define.group(1) != want:
+        errors.append(
+            f"{rel}:1: header-guards: #define does not match #ifndef {want}"
+        )
+
+
+def check_source(path: Path, lines: list[str], errors: list[str]) -> None:
+    rel = path.relative_to(REPO)
+    code = strip_comments(lines)
+
+    includes = []  # (line_number, include_operand)
+    for n, line in enumerate(code, 1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            includes.append((n, m.group(1)))
+
+    for n, inc in includes:
+        if "build/" in inc:
+            errors.append(
+                f"{rel}:{n}: no-build-include: never include from a build "
+                f"tree ({inc})"
+            )
+
+    # Own-header-first applies to library .cc files under src/.
+    if rel.parts[0] != "src" or path.suffix not in {".cc", ".cpp"}:
+        return
+    own = path.with_suffix(".h")
+    if not own.exists():
+        return
+    own_inc = '"' + str(own.relative_to(REPO / "src")) + '"'
+    if not includes:
+        errors.append(
+            f"{rel}:1: own-header-first: expected {own_inc} as the first "
+            "include"
+        )
+        return
+    n, first = includes[0]
+    if first != own_inc:
+        errors.append(
+            f"{rel}:{n}: own-header-first: first include is {first}, "
+            f"expected {own_inc}"
+        )
+
+
+def main() -> int:
+    errors: list[str] = []
+    seen = 0
+    for d in SOURCE_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in {".h", ".hpp", ".cc", ".cpp"}:
+                continue
+            seen += 1
+            lines = path.read_text(encoding="utf-8").splitlines()
+            if path.suffix in {".h", ".hpp"}:
+                check_header(path, lines, errors)
+            check_source(path, lines, errors)
+
+    for e in errors:
+        print(e)
+    print(
+        f"lint.py: {seen} files checked, {len(errors)} violation(s)",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
