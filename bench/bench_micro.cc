@@ -1,8 +1,20 @@
 // Hot-path microbenchmarks (google-benchmark): filter evaluation, profile
 // covering, query parsing/analysis, containment, representative
-// composition, window-join throughput, and CBN publish.
+// composition, window-join throughput, CBN publish, and CBN forwarding
+// (stream-partitioned index vs the pre-index linear scan).
+//
+// The forwarding benchmarks feed BENCH_routing.json (see EXPERIMENTS.md):
+//   bench_micro --benchmark_filter='BM_RoutingForward'
+//       --benchmark_out=BENCH_routing.json --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <set>
 
 #include "cbn/codec.h"
 #include "cbn/covering.h"
@@ -15,6 +27,30 @@
 #include "spe/multiway_join.h"
 #include "stream/auction_dataset.h"
 #include "stream/sensor_dataset.h"
+
+// Heap-allocation counter for the forwarding benchmarks: replacing the
+// global operator new is the only way to observe the per-datagram
+// allocation count without intrusive instrumentation. new[]/delete[]
+// forward here per the standard, so one pair suffices.
+namespace {
+std::atomic<uint64_t> g_allocation_count{0};
+}  // namespace
+
+// noinline keeps GCC from tracing malloc/free through the replaced
+// operators and mis-reporting -Wmismatched-new-delete at call sites.
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace cosmos {
 namespace {
@@ -243,6 +279,118 @@ void BM_CbnPublish(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CbnPublish);
+
+// ---- CBN forwarding: stream-partitioned index vs pre-index linear scan ----
+//
+// Models one broker link carrying range(0) routing entries spread over
+// ~range(0)/10 result streams (the large-scale pub/sub shape: many narrow
+// streams, a handful of subscriptions each). The indexed path is the real
+// Router::DecideForward; the linear reference reproduces the seed
+// implementation — full per-link entry scan plus a per-datagram
+// std::set<std::string> union — so one run yields the speedup ratio that
+// tools/check_bench.py gates on in BENCH_routing.json.
+
+struct RoutingForwardFixture {
+  static constexpr NodeId kLink = 1;
+
+  Router router{0};
+  ProjectionCache cache;
+  std::vector<Datagram> datagrams;
+
+  explicit RoutingForwardFixture(size_t num_entries) {
+    const size_t num_streams = std::max<size_t>(1, num_entries / 10);
+    Rng rng(42);
+    std::vector<std::shared_ptr<const Schema>> schemas;
+    schemas.reserve(num_streams);
+    for (size_t s = 0; s < num_streams; ++s) {
+      schemas.push_back(std::make_shared<Schema>(
+          "st" + std::to_string(s),
+          std::vector<AttributeDef>{{"temp", ValueType::kDouble, -10, 40},
+                                    {"hum", ValueType::kDouble, 0, 100}}));
+    }
+    for (size_t i = 0; i < num_entries; ++i) {
+      const auto& schema = schemas[i % num_streams];
+      Profile p;
+      ConjunctiveClause c;
+      double lo = rng.NextDouble(-10, 25);
+      c.ConstrainInterval("temp", Interval(lo, false, lo + 10, false));
+      p.AddStream(schema->stream_name(), {"temp"});
+      p.AddFilter(Filter(schema->stream_name(), std::move(c)));
+      router.table().Add(kLink, static_cast<ProfileId>(i + 1),
+                         std::make_shared<const Profile>(std::move(p)));
+    }
+    datagrams.reserve(512);
+    for (size_t i = 0; i < 512; ++i) {
+      const auto& schema = schemas[rng.NextBounded(num_streams)];
+      datagrams.push_back(
+          Datagram{schema->stream_name(),
+                   Tuple(schema,
+                         {Value(rng.NextDouble(-10, 40)),
+                          Value(rng.NextDouble(0, 100))},
+                         static_cast<Timestamp>(i))});
+    }
+  }
+};
+
+// The seed implementation of MatchingProfiles + DecideForward, kept as the
+// same-run baseline for the BENCH_routing.json speedup gate.
+std::optional<Datagram> LinearDecideForward(const RoutingTable& table,
+                                            const Datagram& d, NodeId link,
+                                            ProjectionCache& cache) {
+  std::vector<const Profile*> matching;
+  for (const auto& e : table.EntriesFor(link)) {
+    if (e.profile->Covers(d)) matching.push_back(e.profile.get());
+  }
+  if (matching.empty()) return std::nullopt;
+  std::set<std::string> needed;
+  for (const Profile* p : matching) {
+    std::vector<std::string> req = p->RequiredAttributes(d.stream);
+    if (req.empty()) return d;  // wants all attributes
+    needed.insert(req.begin(), req.end());
+  }
+  return cache.Project(
+      d, std::vector<std::string>(needed.begin(), needed.end()));
+}
+
+void ReportForwardingCounters(benchmark::State& state, uint64_t allocs) {
+  state.SetItemsProcessed(state.iterations());
+  state.counters["datagrams_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_datagram"] =
+      state.iterations() > 0
+          ? static_cast<double>(allocs) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+
+void BM_RoutingForwardIndexed(benchmark::State& state) {
+  RoutingForwardFixture fix(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  const uint64_t allocs_before = g_allocation_count.load();
+  for (auto _ : state) {
+    auto out = fix.router.DecideForward(fix.datagrams[i & 511],
+                                        RoutingForwardFixture::kLink,
+                                        /*early_projection=*/true, fix.cache);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  ReportForwardingCounters(state, g_allocation_count.load() - allocs_before);
+}
+BENCHMARK(BM_RoutingForwardIndexed)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RoutingForwardLinear(benchmark::State& state) {
+  RoutingForwardFixture fix(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  const uint64_t allocs_before = g_allocation_count.load();
+  for (auto _ : state) {
+    auto out = LinearDecideForward(fix.router.table(), fix.datagrams[i & 511],
+                                   RoutingForwardFixture::kLink, fix.cache);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  ReportForwardingCounters(state, g_allocation_count.load() - allocs_before);
+}
+BENCHMARK(BM_RoutingForwardLinear)->Arg(100)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace cosmos

@@ -72,14 +72,7 @@ void ContentBasedNetwork::InstallAlongPath(NodeId publisher,
     NodeId node = path[i];
     NodeId toward = path[i + 1];
     RoutingTable& table = routers_[node].table();
-    bool present = false;
-    for (const auto& e : table.EntriesFor(toward)) {
-      if (e.id == id) {
-        present = true;
-        break;
-      }
-    }
-    if (!present) {
+    if (!table.Contains(toward, id)) {
       table.Add(toward, id, profile);
       ++control_messages_;
     }
@@ -228,8 +221,15 @@ size_t ContentBasedNetwork::Process(NodeId node, NodeId from,
       Datagram copy = *out;
       NodeId next = neighbor;
       NodeId prev = node;
-      sim_->Schedule(delay, [this, next, prev, copy]() {
-        Process(next, prev, copy);
+      // The component restriction must ride along with the scheduled hop
+      // (by value: the caller's vector dies with the flush), or a
+      // post-repair flush leaks into the healthy side and delivers twice.
+      std::shared_ptr<const std::vector<bool>> allowed_copy;
+      if (allowed != nullptr) {
+        allowed_copy = std::make_shared<const std::vector<bool>>(*allowed);
+      }
+      sim_->Schedule(delay, [this, next, prev, copy, allowed_copy]() {
+        Process(next, prev, copy, allowed_copy.get());
       });
     } else {
       delivered += Process(neighbor, node, *out, allowed);
@@ -311,8 +311,28 @@ Status ContentBasedNetwork::Repair(const Graph& overlay) {
                           DisseminationTree::FromEdges(num_nodes(), edges));
   tree_ = std::move(repaired);
   failed_links_.clear();
+  PruneStaleLinkStats();
   ReinstallAllSubscriptions();
+  FlushBuffered();
+  return Status::OK();
+}
 
+Status ContentBasedNetwork::RebuildTree(DisseminationTree tree) {
+  if (tree.num_nodes() != num_nodes()) {
+    return Status::InvalidArgument("tree node count mismatch");
+  }
+  tree_ = std::move(tree);
+  failed_links_.clear();
+  PruneStaleLinkStats();
+  ReinstallAllSubscriptions();
+  // Datagrams buffered at failed links would otherwise be stranded: never
+  // delivered, never counted lost. They recover here exactly like after
+  // Repair().
+  FlushBuffered();
+  return Status::OK();
+}
+
+void ContentBasedNetwork::FlushBuffered() {
   // Flush buffered datagrams into the component they never reached; the
   // restriction to that component guarantees no duplicate deliveries on the
   // healthy side. (The retransmission itself travels over a recovery
@@ -323,17 +343,18 @@ Status ContentBasedNetwork::Repair(const Graph& overlay) {
     Process(b.entry, /*from=*/-1, b.datagram, &b.allowed);
     ++recovered_datagrams_;
   }
-  return Status::OK();
 }
 
-Status ContentBasedNetwork::RebuildTree(DisseminationTree tree) {
-  if (tree.num_nodes() != num_nodes()) {
-    return Status::InvalidArgument("tree node count mismatch");
+void ContentBasedNetwork::PruneStaleLinkStats() {
+  // Keys for edges the repair/rebuild dropped would otherwise be charged
+  // forever by WeightedBytes() at the value_or(1.0) fallback weight.
+  for (auto it = link_stats_.begin(); it != link_stats_.end();) {
+    if (!tree_.HasEdge(it->first.first, it->first.second)) {
+      it = link_stats_.erase(it);
+    } else {
+      ++it;
+    }
   }
-  tree_ = std::move(tree);
-  failed_links_.clear();
-  ReinstallAllSubscriptions();
-  return Status::OK();
 }
 
 double ContentBasedNetwork::WeightedBytes() const {
@@ -358,6 +379,7 @@ void ContentBasedNetwork::ResetStats() {
   total_deliveries_ = 0;
   control_messages_ = 0;
   lost_datagrams_ = 0;
+  recovered_datagrams_ = 0;
 }
 
 }  // namespace cosmos

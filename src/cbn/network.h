@@ -151,6 +151,14 @@ class ContentBasedNetwork {
   }
   // Clears all routing state and reinstalls every live subscription.
   void ReinstallAllSubscriptions();
+  // Delivers every buffered datagram into its recorded cut-off component
+  // and counts it recovered. Called after Repair()/RebuildTree() restored
+  // a connected tree.
+  void FlushBuffered();
+  // Drops link_stats_ entries for edges no longer in tree_ (repair/rebuild
+  // replaced them), so WeightedBytes() never charges stale keys at the
+  // fallback weight.
+  void PruneStaleLinkStats();
 
   DisseminationTree tree_;
   NetworkOptions options_;

@@ -30,6 +30,7 @@ void Profile::AddFilter(Filter filter) {
   if (streams_.count(filter.stream()) == 0) {
     AddStream(filter.stream());
   }
+  filters_by_stream_[filter.stream()].push_back(filters_.size());
   filters_.push_back(std::move(filter));
 }
 
@@ -44,22 +45,22 @@ const std::vector<std::string>& Profile::ProjectionOf(
 std::vector<const Filter*> Profile::FiltersOf(
     const std::string& stream) const {
   std::vector<const Filter*> out;
-  for (const auto& f : filters_) {
-    if (f.stream() == stream) out.push_back(&f);
-  }
+  auto it = filters_by_stream_.find(stream);
+  if (it == filters_by_stream_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t i : it->second) out.push_back(&filters_[i]);
   return out;
 }
 
 bool Profile::Covers(const Datagram& d) const {
   if (streams_.count(d.stream) == 0) return false;
-  bool has_filter = false;
-  for (const auto& f : filters_) {
-    if (f.stream() != d.stream) continue;
-    has_filter = true;
-    if (f.Covers(d)) return true;
-  }
+  auto it = filters_by_stream_.find(d.stream);
   // A stream subscribed without filters is requested unconditionally.
-  return !has_filter;
+  if (it == filters_by_stream_.end()) return true;
+  for (size_t i : it->second) {
+    if (filters_[i].Covers(d)) return true;
+  }
+  return false;
 }
 
 std::vector<std::string> Profile::RequiredAttributes(
@@ -67,9 +68,10 @@ std::vector<std::string> Profile::RequiredAttributes(
   const std::vector<std::string>& proj = ProjectionOf(stream);
   if (proj.empty()) return {};  // all attributes
   std::vector<std::string> out = proj;
-  for (const auto& f : filters_) {
-    if (f.stream() != stream) continue;
-    for (auto& a : f.ReferencedAttributes()) {
+  auto it = filters_by_stream_.find(stream);
+  if (it == filters_by_stream_.end()) return out;
+  for (size_t i : it->second) {
+    for (auto& a : filters_[i].ReferencedAttributes()) {
       if (std::find(out.begin(), out.end(), a) == out.end()) {
         out.push_back(std::move(a));
       }

@@ -47,7 +47,9 @@ class Profile {
 
   const std::vector<Filter>& filters() const { return filters_; }
 
-  // Filters defined on `stream`.
+  // Filters defined on `stream`. Backed by a per-stream index maintained
+  // in AddFilter, so per-stream iteration does not scan filters of the
+  // profile's other streams (the routing index relies on this).
   std::vector<const Filter*> FiltersOf(const std::string& stream) const;
 
   // Coverage test (paper: "a datagram is covered by a profile if it is
@@ -67,6 +69,8 @@ class Profile {
   std::set<std::string> streams_;
   std::map<std::string, std::vector<std::string>> projections_;
   std::vector<Filter> filters_;
+  // stream -> indices into filters_ defined on it.
+  std::map<std::string, std::vector<size_t>> filters_by_stream_;
 };
 
 using ProfilePtr = std::shared_ptr<const Profile>;

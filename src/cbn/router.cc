@@ -1,7 +1,6 @@
 #include "cbn/router.h"
 
 #include <algorithm>
-#include <set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -46,8 +45,21 @@ Datagram ProjectionCache::Project(const Datagram& d,
 
 void Router::AddLocal(ProfileId id, ProfilePtr profile,
                       DeliveryCallback callback) {
+  size_t index = local_profiles_.size();
+  for (const auto& stream : profile->streams()) {
+    local_by_stream_[stream].push_back(index);
+  }
   local_profiles_.emplace_back(id, std::move(profile));
   local_callbacks_.push_back(std::move(callback));
+}
+
+void Router::ReindexLocals() {
+  local_by_stream_.clear();
+  for (size_t i = 0; i < local_profiles_.size(); ++i) {
+    for (const auto& stream : local_profiles_[i].second->streams()) {
+      local_by_stream_[stream].push_back(i);
+    }
+  }
 }
 
 bool Router::RemoveLocal(ProfileId id) {
@@ -56,6 +68,7 @@ bool Router::RemoveLocal(ProfileId id) {
       local_profiles_.erase(local_profiles_.begin() + static_cast<long>(i));
       local_callbacks_.erase(local_callbacks_.begin() +
                              static_cast<long>(i));
+      ReindexLocals();
       return true;
     }
   }
@@ -63,8 +76,10 @@ bool Router::RemoveLocal(ProfileId id) {
 }
 
 size_t Router::DeliverLocal(const Datagram& d, ProjectionCache& cache) {
+  auto it = local_by_stream_.find(d.stream);
+  if (it == local_by_stream_.end()) return 0;
   size_t delivered = 0;
-  for (size_t i = 0; i < local_profiles_.size(); ++i) {
+  for (size_t i : it->second) {
     const Profile& p = *local_profiles_[i].second;
     if (!p.Covers(d)) continue;
     // Last-hop projection: the subscriber receives exactly P(stream).
@@ -80,22 +95,41 @@ size_t Router::DeliverLocal(const Datagram& d, ProjectionCache& cache) {
 std::optional<Datagram> Router::DecideForward(const Datagram& d, NodeId link,
                                               bool early_projection,
                                               ProjectionCache& cache) const {
-  std::vector<const Profile*> matching = table_.MatchingProfiles(link, d);
-  if (matching.empty()) return std::nullopt;
+  const RoutingTable::StreamBucket* bucket = table_.BucketFor(link, d.stream);
+  if (bucket == nullptr) return std::nullopt;
+  match_scratch_.clear();
+  for (const auto& slot : bucket->slots()) {
+    if (slot.profile->Covers(d)) match_scratch_.push_back(&slot);
+  }
+  if (match_scratch_.empty()) return std::nullopt;
   if (!early_projection) return d;
 
   // Union of the attributes any matching downstream profile still needs
   // (its projection set plus its filters' attributes, so re-evaluation at
   // later hops stays possible). Any profile wanting all attributes disables
-  // projection on this link.
-  std::set<std::string> needed;
-  for (const Profile* p : matching) {
-    std::vector<std::string> req = p->RequiredAttributes(d.stream);
-    if (req.empty()) return d;  // wants all attributes
-    needed.insert(req.begin(), req.end());
+  // projection on this link. When every bucket entry matched — the common
+  // case for stream-level subscriptions — the bucket's cached union is the
+  // answer and nothing is rebuilt.
+  if (match_scratch_.size() == bucket->slots().size()) {
+    bool wants_all = false;
+    const std::vector<std::string>& needed = bucket->UnionRequired(&wants_all);
+    if (wants_all) return d;
+    return cache.Project(d, needed);
   }
-  return cache.Project(
-      d, std::vector<std::string>(needed.begin(), needed.end()));
+  attr_scratch_.clear();
+  for (const RoutingTable::BucketSlot* slot : match_scratch_) {
+    if (slot->required.empty()) return d;  // wants all attributes
+    // Slot `required` sets are sorted; merge-insert keeps the union sorted
+    // so equal attribute sets share one projection-cache plan.
+    for (const auto& attr : slot->required) {
+      auto pos = std::lower_bound(attr_scratch_.begin(), attr_scratch_.end(),
+                                  attr);
+      if (pos == attr_scratch_.end() || *pos != attr) {
+        attr_scratch_.insert(pos, attr);
+      }
+    }
+  }
+  return cache.Project(d, attr_scratch_);
 }
 
 }  // namespace cosmos

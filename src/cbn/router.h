@@ -68,21 +68,33 @@ class Router {
 
   // Delivers `d` to every matching local subscriber, applying the
   // subscriber's exact projection set P (last-hop projection, paper §3.1).
+  // Only subscribers of `d.stream` are evaluated (per-stream index).
   // Returns the number of deliveries.
   size_t DeliverLocal(const Datagram& d, ProjectionCache& cache);
 
   // One forwarding decision: the datagram to put on the wire toward `link`
   // (early-projected to the union of required attributes of the matching
   // profiles when `early_projection`), or nullopt when no profile matches.
+  // Evaluates only the (link, d.stream) bucket of the routing table and
+  // reuses internal scratch buffers, so a decision allocates nothing on
+  // the no-match and all-match paths.
   std::optional<Datagram> DecideForward(const Datagram& d, NodeId link,
                                         bool early_projection,
                                         ProjectionCache& cache) const;
 
  private:
+  // Rebuilds local_by_stream_ after a removal shifted indices.
+  void ReindexLocals();
+
   NodeId id_;
   RoutingTable table_;
   std::vector<std::pair<ProfileId, ProfilePtr>> local_profiles_;
   std::vector<DeliveryCallback> local_callbacks_;
+  // stream -> indices into local_profiles_ subscribed to it.
+  std::unordered_map<std::string, std::vector<size_t>> local_by_stream_;
+  // Scratch for DecideForward (single-threaded per node, like the table).
+  mutable std::vector<const RoutingTable::BucketSlot*> match_scratch_;
+  mutable std::vector<std::string> attr_scratch_;
 };
 
 }  // namespace cosmos

@@ -1,31 +1,93 @@
 #include "cbn/routing_table.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace cosmos {
 
+const std::vector<std::string>& RoutingTable::StreamBucket::UnionRequired(
+    bool* wants_all) const {
+  if (union_dirty_) {
+    union_required_.clear();
+    union_wants_all_ = false;
+    for (const auto& slot : slots_) {
+      if (slot.required.empty()) {  // needs all attributes
+        union_wants_all_ = true;
+        union_required_.clear();
+        break;
+      }
+      // Slots keep `required` sorted; merge-insert keeps the union sorted
+      // (and therefore a deterministic projection-cache key).
+      for (const auto& attr : slot.required) {
+        auto it = std::lower_bound(union_required_.begin(),
+                                   union_required_.end(), attr);
+        if (it == union_required_.end() || *it != attr) {
+          union_required_.insert(it, attr);
+        }
+      }
+    }
+    union_dirty_ = false;
+  }
+  *wants_all = union_wants_all_;
+  return union_required_;
+}
+
+void RoutingTable::IndexEntry(LinkState& state, ProfileId id,
+                              const Profile& p) {
+  for (const auto& stream : p.streams()) {
+    StreamBucket& bucket = state.by_stream[stream];
+    std::vector<std::string> required = p.RequiredAttributes(stream);
+    std::sort(required.begin(), required.end());
+    bucket.slots_.push_back(BucketSlot{id, &p, std::move(required)});
+    bucket.union_dirty_ = true;
+  }
+}
+
+void RoutingTable::DeindexEntry(LinkState& state, ProfileId id,
+                                const Profile& p) {
+  for (const auto& stream : p.streams()) {
+    auto it = state.by_stream.find(stream);
+    COSMOS_DCHECK(it != state.by_stream.end())
+        << "no bucket for indexed stream " << stream;
+    auto& slots = it->second.slots_;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].id == id && slots[i].profile == &p) {
+        slots.erase(slots.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    if (slots.empty()) {
+      state.by_stream.erase(it);
+    } else {
+      it->second.union_dirty_ = true;
+    }
+  }
+}
+
 void RoutingTable::Add(NodeId link, ProfileId id, ProfilePtr profile) {
   COSMOS_CHECK(profile != nullptr) << "routing entry " << id;
-  per_link_[link].push_back(Entry{id, std::move(profile)});
+  LinkState& state = per_link_[link];
+  IndexEntry(state, id, *profile);
+  state.entries.push_back(Entry{id, std::move(profile)});
   COSMOS_DCHECK(CheckInvariants());
 }
 
 bool RoutingTable::AddUnique(NodeId link, ProfileId id, ProfilePtr profile) {
   COSMOS_CHECK(profile != nullptr) << "routing entry " << id;
-  for (const auto& e : per_link_[link]) {
-    if (e.id == id) return false;
-  }
-  per_link_[link].push_back(Entry{id, std::move(profile)});
-  COSMOS_DCHECK(CheckInvariants());
+  if (Contains(link, id)) return false;
+  Add(link, id, std::move(profile));
   return true;
 }
 
 bool RoutingTable::Remove(NodeId link, ProfileId id) {
   auto it = per_link_.find(link);
   if (it == per_link_.end()) return false;
-  auto& entries = it->second;
+  LinkState& state = it->second;
+  auto& entries = state.entries;
   for (size_t i = 0; i < entries.size(); ++i) {
     if (entries[i].id == id) {
+      DeindexEntry(state, id, *entries[i].profile);
       entries.erase(entries.begin() + static_cast<long>(i));
       if (entries.empty()) per_link_.erase(it);
       COSMOS_DCHECK(CheckInvariants());
@@ -38,9 +100,11 @@ bool RoutingTable::Remove(NodeId link, ProfileId id) {
 size_t RoutingTable::RemoveEverywhere(ProfileId id) {
   size_t removed = 0;
   for (auto it = per_link_.begin(); it != per_link_.end();) {
-    auto& entries = it->second;
+    LinkState& state = it->second;
+    auto& entries = state.entries;
     for (size_t i = 0; i < entries.size();) {
       if (entries[i].id == id) {
+        DeindexEntry(state, id, *entries[i].profile);
         entries.erase(entries.begin() + static_cast<long>(i));
         ++removed;
       } else {
@@ -59,10 +123,19 @@ size_t RoutingTable::RemoveEverywhere(ProfileId id) {
   return removed;
 }
 
+bool RoutingTable::Contains(NodeId link, ProfileId id) const {
+  auto it = per_link_.find(link);
+  if (it == per_link_.end()) return false;
+  for (const auto& e : it->second.entries) {
+    if (e.id == id) return true;
+  }
+  return false;
+}
+
 size_t RoutingTable::CountOf(ProfileId id) const {
   size_t count = 0;
-  for (const auto& [link, entries] : per_link_) {
-    for (const auto& e : entries) {
+  for (const auto& [link, state] : per_link_) {
+    for (const auto& e : state.entries) {
       if (e.id == id) ++count;
     }
   }
@@ -70,11 +143,46 @@ size_t RoutingTable::CountOf(ProfileId id) const {
 }
 
 bool RoutingTable::CheckInvariants() const {
-  for (const auto& [link, entries] : per_link_) {
-    if (entries.empty()) return false;  // empty lists must be erased
-    for (const auto& e : entries) {
+  for (const auto& [link, state] : per_link_) {
+    if (state.entries.empty()) return false;  // empty lists must be erased
+    size_t expected_slots = 0;
+    for (const auto& e : state.entries) {
       if (e.profile == nullptr) return false;
+      expected_slots += e.profile->streams().size();
+      // Every (entry, stream) pair must be indexed.
+      for (const auto& stream : e.profile->streams()) {
+        auto it = state.by_stream.find(stream);
+        if (it == state.by_stream.end()) return false;
+        bool found = false;
+        for (const auto& slot : it->second.slots()) {
+          if (slot.id == e.id && slot.profile == e.profile.get()) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
     }
+    // No empty or stray buckets/slots; slot count matches the entries'
+    // stream count exactly (no duplicate or leaked slots).
+    size_t total_slots = 0;
+    for (const auto& [stream, bucket] : state.by_stream) {
+      if (bucket.slots().empty()) return false;
+      total_slots += bucket.slots().size();
+      for (const auto& slot : bucket.slots()) {
+        if (slot.profile == nullptr) return false;
+        bool backed = false;
+        for (const auto& e : state.entries) {
+          if (e.id == slot.id && e.profile.get() == slot.profile &&
+              e.profile->WantsStream(stream)) {
+            backed = true;
+            break;
+          }
+        }
+        if (!backed) return false;
+      }
+    }
+    if (total_slots != expected_slots) return false;
   }
   return true;
 }
@@ -84,35 +192,63 @@ const std::vector<RoutingTable::Entry>& RoutingTable::EntriesFor(
   static const std::vector<Entry> kEmpty;
   auto it = per_link_.find(link);
   if (it == per_link_.end()) return kEmpty;
-  return it->second;
+  return it->second.entries;
 }
 
 std::vector<NodeId> RoutingTable::Links() const {
   std::vector<NodeId> out;
   out.reserve(per_link_.size());
-  for (const auto& [link, entries] : per_link_) out.push_back(link);
+  for (const auto& [link, state] : per_link_) out.push_back(link);
   return out;
 }
 
+const RoutingTable::StreamBucket* RoutingTable::BucketFor(
+    NodeId link, const std::string& stream) const {
+  auto it = per_link_.find(link);
+  if (it == per_link_.end()) return nullptr;
+  auto bit = it->second.by_stream.find(stream);
+  if (bit == it->second.by_stream.end()) return nullptr;
+  return &bit->second;
+}
+
 bool RoutingTable::LinkCovers(NodeId link, const Datagram& d) const {
-  for (const auto& e : EntriesFor(link)) {
-    if (e.profile->Covers(d)) return true;
+  const StreamBucket* bucket = BucketFor(link, d.stream);
+  if (bucket == nullptr) return false;
+  for (const auto& slot : bucket->slots()) {
+    if (slot.profile->Covers(d)) return true;
   }
   return false;
+}
+
+void RoutingTable::MatchingProfiles(NodeId link, const Datagram& d,
+                                    std::vector<const Profile*>* out) const {
+  const StreamBucket* bucket = BucketFor(link, d.stream);
+  if (bucket == nullptr) return;
+  for (const auto& slot : bucket->slots()) {
+    if (slot.profile->Covers(d)) out->push_back(slot.profile);
+  }
 }
 
 std::vector<const Profile*> RoutingTable::MatchingProfiles(
     NodeId link, const Datagram& d) const {
   std::vector<const Profile*> out;
-  for (const auto& e : EntriesFor(link)) {
-    if (e.profile->Covers(d)) out.push_back(e.profile.get());
-  }
+  MatchingProfiles(link, d, &out);
   return out;
 }
 
 size_t RoutingTable::TotalEntries() const {
   size_t total = 0;
-  for (const auto& [link, entries] : per_link_) total += entries.size();
+  for (const auto& [link, state] : per_link_) total += state.entries.size();
+  return total;
+}
+
+size_t RoutingTable::TotalIndexedSlots() const {
+  size_t total = 0;
+  for (const auto& [link, state] : per_link_) {
+    for (const auto& [stream, bucket] : state.by_stream) {
+      total += bucket.slots().size();
+    }
+  }
   return total;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/check.h"
 #include "expr/implication.h"
 #include "expr/relaxation.h"
 
@@ -76,6 +77,19 @@ double RateEstimator::EstimateMergedOutputRate(
   if (a.is_aggregate()) return EstimateOutputRate(a);
   const size_t n = a.sources().size();
 
+  // Inverse of b_to_a, hoisted out of the per-source loops: bi = a_to_b[ai]
+  // is the b-source aligned with a-source ai. The alignment must be a
+  // permutation — a missing mapping once silently defaulted to source 0 and
+  // skewed the merged-rate estimate toward the wrong stream.
+  COSMOS_CHECK_EQ(b_to_a.size(), n) << "source alignment size mismatch";
+  std::vector<size_t> a_to_b(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    COSMOS_CHECK_LT(b_to_a[k], n) << "b_to_a[" << k << "] out of range";
+    COSMOS_CHECK_EQ(a_to_b[b_to_a[k]], n)
+        << "b_to_a maps two b-sources onto a-source " << b_to_a[k];
+    a_to_b[b_to_a[k]] = k;
+  }
+
   // Per-source merged selectivity (hull) and window (max).
   double tuple_rate = 0.0;
   std::vector<double> filtered(n, 0.0);
@@ -83,11 +97,7 @@ double RateEstimator::EstimateMergedOutputRate(
   bool windows_differ = false;
   bool selections_differ = false;
   for (size_t ai = 0; ai < n; ++ai) {
-    // Index of a-source ai within b.
-    size_t bi = 0;
-    for (size_t k = 0; k < n; ++k) {
-      if (b_to_a[k] == ai) bi = k;
-    }
+    const size_t bi = a_to_b[ai];
     ConjunctiveClause hull =
         ClauseHull(a.local_selection(ai), b.local_selection(bi));
     if (!ClauseImplies(hull, a.local_selection(ai)) ||
@@ -131,10 +141,7 @@ double RateEstimator::EstimateMergedOutputRate(
   }
   if (selections_differ) {
     for (size_t ai = 0; ai < n; ++ai) {
-      size_t bi = 0;
-      for (size_t k = 0; k < n; ++k) {
-        if (b_to_a[k] == ai) bi = k;
-      }
+      const size_t bi = a_to_b[ai];
       for (const auto& [attr, c] : a.local_selection(ai).constraints()) {
         attrs.insert({ai, attr});
       }

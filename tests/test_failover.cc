@@ -1,9 +1,11 @@
-// Query-layer failover: a processor disappears and its queries re-home
-// onto the surviving processors with no user-visible change beyond the
-// gap.
+// Failure recovery: query-layer failover (a processor disappears and its
+// queries re-home onto the surviving processors) and data-layer recovery
+// regressions (buffered-datagram flushing must neither duplicate nor
+// strand deliveries, and recovery statistics must reset cleanly).
 
 #include <gtest/gtest.h>
 
+#include "cbn/network.h"
 #include "core/system.h"
 #include "stream/sensor_dataset.h"
 
@@ -114,6 +116,224 @@ TEST_F(FailoverTest, SurvivorLoadReflectsRehoming) {
   ASSERT_TRUE(system_->FailProcessor(2).ok());
   EXPECT_EQ(system_->TotalQueries(), before);
   EXPECT_EQ(system_->processor(4)->num_queries(), before);
+}
+
+// ---- data-layer recovery regressions -------------------------------------
+
+std::shared_ptr<const Schema> CbnSchema() {
+  return std::make_shared<Schema>(
+      "s", std::vector<AttributeDef>{{"temp", ValueType::kDouble, -10, 40}});
+}
+
+Datagram CbnDatagram(double temp, Timestamp ts = 0) {
+  return Datagram{"s", Tuple(CbnSchema(), {Value(temp)}, ts)};
+}
+
+// Overlay square 0-1-2-3-0; tree is the chain 0-1-2-3.
+Graph SquareOverlay() {
+  Graph g(4);
+  (void)g.AddEdge(0, 1, 1.0);
+  (void)g.AddEdge(1, 2, 1.0);
+  (void)g.AddEdge(2, 3, 1.0);
+  (void)g.AddEdge(3, 0, 2.0);
+  return g;
+}
+
+Profile WholeStreamProfile() {
+  Profile p;
+  p.AddStream("s");
+  return p;
+}
+
+TEST(CbnFailureRecovery, RepairUnderSimulatorDoesNotDuplicateDeliveries) {
+  // Regression: forwarding hops scheduled on the Simulator dropped the
+  // `allowed` component restriction, so a buffered datagram flushed by
+  // Repair() re-entered the healthy side and was delivered twice there.
+  Simulator sim;
+  ContentBasedNetwork net(ChainTree(4), NetworkOptions{}, &sim);
+  int hits1 = 0;
+  int hits3 = 0;
+  net.Subscribe(1, WholeStreamProfile(),
+                [&](const std::string&, const Tuple&) { ++hits1; });
+  net.Subscribe(3, WholeStreamProfile(),
+                [&](const std::string&, const Tuple&) { ++hits3; });
+  ASSERT_TRUE(net.FailLink(1, 2).ok());
+  net.Publish(0, CbnDatagram(1));
+  sim.Run();
+  EXPECT_EQ(hits1, 1);
+  EXPECT_EQ(hits3, 0);
+  EXPECT_EQ(net.buffered_datagrams(), 1u);
+
+  ASSERT_TRUE(net.Repair(SquareOverlay()).ok());
+  sim.Run();
+  EXPECT_EQ(hits3, 1) << "buffered datagram not recovered";
+  EXPECT_EQ(hits1, 1)
+      << "scheduled hop dropped the component restriction: duplicate "
+         "delivery on the healthy side";
+}
+
+TEST(CbnFailureRecovery, RebuildTreeDeliversBufferedDatagrams) {
+  // Regression: RebuildTree() cleared failed_links_ but stranded buffered_
+  // datagrams — never delivered, never counted lost or recovered.
+  ContentBasedNetwork net(ChainTree(4));
+  int hits1 = 0;
+  int hits3 = 0;
+  net.Subscribe(1, WholeStreamProfile(),
+                [&](const std::string&, const Tuple&) { ++hits1; });
+  net.Subscribe(3, WholeStreamProfile(),
+                [&](const std::string&, const Tuple&) { ++hits3; });
+  ASSERT_TRUE(net.FailLink(1, 2).ok());
+  net.Publish(0, CbnDatagram(1));
+  EXPECT_EQ(hits1, 1);
+  EXPECT_EQ(hits3, 0);
+  EXPECT_EQ(net.buffered_datagrams(), 1u);
+
+  ASSERT_TRUE(net.RebuildTree(ChainTree(4)).ok());
+  EXPECT_EQ(hits3, 1) << "RebuildTree stranded the buffered datagram";
+  EXPECT_EQ(hits1, 1) << "duplicate delivery on the healthy side";
+  EXPECT_EQ(net.buffered_datagrams(), 0u);
+  EXPECT_EQ(net.recovered_datagrams(), 1u);
+  EXPECT_EQ(net.lost_datagrams(), 0u);
+}
+
+TEST(CbnFailureRecovery, ResetStatsClearsRecoveryCounters) {
+  // Regression: ResetStats() left recovered_datagrams_ standing, so
+  // ablation runs resetting between trials double-counted recoveries.
+  ContentBasedNetwork net(ChainTree(4));
+  net.Subscribe(3, WholeStreamProfile(), nullptr);
+  ASSERT_TRUE(net.FailLink(1, 2).ok());
+  net.Publish(0, CbnDatagram(1));
+  ASSERT_TRUE(net.Repair(SquareOverlay()).ok());
+  ASSERT_EQ(net.recovered_datagrams(), 1u);
+
+  net.ResetStats();
+  EXPECT_EQ(net.recovered_datagrams(), 0u);
+  EXPECT_EQ(net.lost_datagrams(), 0u);
+  EXPECT_EQ(net.total_bytes(), 0u);
+}
+
+TEST(CbnFailureRecovery, RepairDropsStatsForRemovedLinks) {
+  // Regression: WeightedBytes() kept charging pre-repair link keys that
+  // are no longer tree edges, at the value_or(1.0) fallback weight.
+  ContentBasedNetwork net(ChainTree(4));
+  net.Subscribe(3, WholeStreamProfile(), nullptr);
+  net.Publish(0, CbnDatagram(1));
+  ASSERT_GT(net.link_stats().count({1, 2}), 0u);
+
+  ASSERT_TRUE(net.FailLink(1, 2).ok());
+  ASSERT_TRUE(net.Repair(SquareOverlay()).ok());
+  EXPECT_EQ(net.link_stats().count({1, 2}), 0u)
+      << "stats survived for a link the repair removed from the tree";
+  for (const auto& [key, stats] : net.link_stats()) {
+    EXPECT_TRUE(net.tree().HasEdge(key.first, key.second))
+        << "stats for (" << key.first << "," << key.second
+        << ") but no such tree edge";
+  }
+}
+
+// ---- stream-partitioned routing index under churn -------------------------
+
+// Sum over (link, entry) of the entry's stream count: what the per-stream
+// index must hold for the table to be consistent.
+size_t ExpectedIndexSlots(const RoutingTable& table) {
+  size_t expected = 0;
+  for (NodeId link : table.Links()) {
+    for (const auto& e : table.EntriesFor(link)) {
+      expected += e.profile->streams().size();
+    }
+  }
+  return expected;
+}
+
+void ExpectIndexConsistent(const ContentBasedNetwork& net) {
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    const RoutingTable& table = net.router(n).table();
+    ASSERT_TRUE(table.CheckInvariants()) << "node " << n;
+    EXPECT_EQ(table.TotalIndexedSlots(), ExpectedIndexSlots(table))
+        << "node " << n;
+  }
+}
+
+TEST(RoutingIndexConsistency, SubscribeUnsubscribeRepairChurn) {
+  // Random subscribe/unsubscribe/fail/repair churn must keep every node's
+  // per-stream bucket index exactly mirroring its entry list. Profiles are
+  // single-stream here, so indexed slots == TotalEntries() per node.
+  ContentBasedNetwork net(ChainTree(6));
+  Graph overlay(6);
+  for (int i = 0; i + 1 < 6; ++i) (void)overlay.AddEdge(i, i + 1, 1.0);
+  (void)overlay.AddEdge(5, 0, 2.0);
+  (void)overlay.AddEdge(4, 0, 3.0);
+
+  Rng rng(2024);
+  std::vector<ProfileId> live;
+  int delivered = 0;
+  for (int round = 0; round < 200; ++round) {
+    double action = rng.NextDouble();
+    if (action < 0.5 || live.empty()) {
+      Profile p;
+      ConjunctiveClause c;
+      double lo = rng.NextInt(-10, 30);
+      c.ConstrainInterval("temp", Interval(lo, false, lo + 10, false));
+      p.AddStream("s", {"temp"});
+      p.AddFilter(Filter("s", std::move(c)));
+      live.push_back(net.Subscribe(
+          static_cast<NodeId>(rng.NextBounded(6)), std::move(p),
+          [&](const std::string&, const Tuple&) { ++delivered; }));
+    } else if (action < 0.8) {
+      size_t pick = rng.NextBounded(live.size());
+      EXPECT_TRUE(net.Unsubscribe(live[pick]));
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      // Fail a random edge of the *current* tree (repairs reshape it).
+      const auto& edges = net.tree().edges();
+      const Edge e = edges[rng.NextBounded(edges.size())];
+      ASSERT_TRUE(net.FailLink(e.u, e.v).ok());
+      net.Publish(0, CbnDatagram(rng.NextInt(-10, 40)));
+      ASSERT_TRUE(net.Repair(overlay).ok());
+    }
+    net.Publish(static_cast<NodeId>(rng.NextBounded(6)),
+                CbnDatagram(rng.NextInt(-10, 40)));
+    ExpectIndexConsistent(net);
+    size_t expected_total = 0;
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      expected_total += net.router(n).table().TotalEntries();
+    }
+    size_t indexed_total = 0;
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      indexed_total += net.router(n).table().TotalIndexedSlots();
+    }
+    EXPECT_EQ(indexed_total, expected_total)
+        << "single-stream profiles: slots must equal entries";
+  }
+  EXPECT_GT(delivered, 0);
+}
+
+TEST(RoutingIndexConsistency, MultiStreamProfilesIndexEveryStream) {
+  ContentBasedNetwork net(ChainTree(4));
+  Profile p;
+  p.AddStream("a");
+  p.AddStream("b");
+  int hits = 0;
+  ProfileId id = net.Subscribe(
+      3, p, [&](const std::string&, const Tuple&) { ++hits; });
+  ExpectIndexConsistent(net);
+  // Each table entry for this profile carries one slot per stream.
+  for (NodeId n = 0; n < 3; ++n) {
+    const RoutingTable& t = net.router(n).table();
+    EXPECT_EQ(t.TotalIndexedSlots(), 2 * t.TotalEntries()) << "node " << n;
+  }
+  auto sa = std::make_shared<Schema>(
+      "a", std::vector<AttributeDef>{{"x", ValueType::kDouble}});
+  auto sb = std::make_shared<Schema>(
+      "b", std::vector<AttributeDef>{{"x", ValueType::kDouble}});
+  net.Publish(0, Datagram{"a", Tuple(sa, {Value(1.0)}, 0)});
+  net.Publish(0, Datagram{"b", Tuple(sb, {Value(2.0)}, 1)});
+  EXPECT_EQ(hits, 2);
+  EXPECT_TRUE(net.Unsubscribe(id));
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    EXPECT_EQ(net.router(n).table().TotalIndexedSlots(), 0u);
+    EXPECT_EQ(net.router(n).table().TotalEntries(), 0u);
+  }
 }
 
 }  // namespace

@@ -86,6 +86,109 @@ TEST(RoutingTable, RemoveEverywhereSweepsAllLinks) {
   EXPECT_EQ(t.Links(), (std::vector<NodeId>{3}));
 }
 
+TEST(RoutingTable, ContainsChecksLinkAndId) {
+  RoutingTable t;
+  t.Add(3, 1, MakeProfile(0, 10));
+  EXPECT_TRUE(t.Contains(3, 1));
+  EXPECT_FALSE(t.Contains(3, 2));
+  EXPECT_FALSE(t.Contains(5, 1));
+}
+
+TEST(RoutingTable, AddUniqueRejectsDuplicateId) {
+  RoutingTable t;
+  EXPECT_TRUE(t.AddUnique(3, 1, MakeProfile(0, 10)));
+  EXPECT_FALSE(t.AddUnique(3, 1, MakeProfile(20, 30)));
+  EXPECT_TRUE(t.AddUnique(5, 1, MakeProfile(0, 10)));
+  EXPECT_EQ(t.TotalEntries(), 2u);
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(RoutingTable, BucketForPartitionsByStream) {
+  RoutingTable t;
+  t.Add(3, 1, MakeProfile(0, 10));
+  ASSERT_NE(t.BucketFor(3, "s"), nullptr);
+  EXPECT_EQ(t.BucketFor(3, "s")->slots().size(), 1u);
+  EXPECT_EQ(t.BucketFor(3, "other"), nullptr);
+  EXPECT_EQ(t.BucketFor(9, "s"), nullptr);
+  // A datagram of an unindexed stream matches nothing without touching
+  // the "s" entries.
+  auto other_schema = std::make_shared<Schema>(
+      "other", std::vector<AttributeDef>{{"temp", ValueType::kDouble}});
+  Datagram d{"other", Tuple(other_schema, {Value(5.0)}, 0)};
+  EXPECT_FALSE(t.LinkCovers(3, d));
+  EXPECT_TRUE(t.MatchingProfiles(3, d).empty());
+}
+
+TEST(RoutingTable, MultiStreamProfileHasOneSlotPerStream) {
+  RoutingTable t;
+  auto p = std::make_shared<Profile>();
+  p->AddStream("a", {"x"});
+  p->AddStream("b");
+  t.Add(3, 7, p);
+  EXPECT_EQ(t.TotalEntries(), 1u);
+  EXPECT_EQ(t.TotalIndexedSlots(), 2u);
+  ASSERT_NE(t.BucketFor(3, "a"), nullptr);
+  ASSERT_NE(t.BucketFor(3, "b"), nullptr);
+  EXPECT_TRUE(t.CheckInvariants());
+  EXPECT_TRUE(t.Remove(3, 7));
+  EXPECT_EQ(t.TotalIndexedSlots(), 0u);
+  EXPECT_EQ(t.BucketFor(3, "a"), nullptr);
+  EXPECT_EQ(t.BucketFor(3, "b"), nullptr);
+}
+
+TEST(RoutingTable, ScratchMatchingProfilesAppends) {
+  RoutingTable t;
+  t.Add(3, 1, MakeProfile(0, 20));
+  t.Add(3, 2, MakeProfile(10, 30));
+  std::vector<const Profile*> scratch;
+  t.MatchingProfiles(3, MakeDatagram(15), &scratch);
+  EXPECT_EQ(scratch.size(), 2u);
+  // Caller owns the scratch: a second call appends rather than clears.
+  t.MatchingProfiles(3, MakeDatagram(5), &scratch);
+  EXPECT_EQ(scratch.size(), 3u);
+}
+
+TEST(RoutingTable, UnionRequiredCachesAcrossSlots) {
+  RoutingTable t;
+  t.Add(3, 1, MakeProfile(0, 10, {"temp"}));
+  t.Add(3, 2, MakeProfile(0, 10, {"hum"}));
+  bool wants_all = true;
+  const auto* bucket = t.BucketFor(3, "s");
+  ASSERT_NE(bucket, nullptr);
+  const auto& u = bucket->UnionRequired(&wants_all);
+  EXPECT_FALSE(wants_all);
+  EXPECT_EQ(u, (std::vector<std::string>{"hum", "temp"}));  // sorted
+  // A profile needing every attribute poisons the union.
+  t.Add(3, 4, MakeProfile(0, 10));
+  bucket = t.BucketFor(3, "s");
+  ASSERT_NE(bucket, nullptr);
+  (void)bucket->UnionRequired(&wants_all);
+  EXPECT_TRUE(wants_all);
+  // Removing it restores the attribute union (invalidation on Remove).
+  EXPECT_TRUE(t.Remove(3, 4));
+  bucket = t.BucketFor(3, "s");
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->UnionRequired(&wants_all),
+            (std::vector<std::string>{"hum", "temp"}));
+  EXPECT_FALSE(wants_all);
+}
+
+TEST(RoutingTable, IndexSurvivesChurn) {
+  RoutingTable t;
+  for (ProfileId id = 1; id <= 40; ++id) {
+    t.Add(static_cast<NodeId>(id % 4), id,
+          MakeProfile(static_cast<double>(id % 7), 30));
+  }
+  EXPECT_TRUE(t.CheckInvariants());
+  EXPECT_EQ(t.TotalIndexedSlots(), t.TotalEntries());
+  for (ProfileId id = 1; id <= 40; id += 2) {
+    EXPECT_EQ(t.RemoveEverywhere(id), 1u);
+  }
+  EXPECT_TRUE(t.CheckInvariants());
+  EXPECT_EQ(t.TotalIndexedSlots(), t.TotalEntries());
+  EXPECT_EQ(t.TotalEntries(), 20u);
+}
+
 TEST(Router, DeliverLocalAppliesExactProjection) {
   Router r(0);
   ProjectionCache cache;
@@ -161,6 +264,41 @@ TEST(Router, AllAttributeProfileDisablesProjection) {
   auto out = r.DecideForward(MakeDatagram(5), 2, true, cache);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->tuple.num_values(), 2u);
+}
+
+TEST(Router, DecideForwardTracksTableMutations) {
+  Router r(0);
+  ProjectionCache cache;
+  r.table().Add(2, 1, MakeProfile(0, 20, {"temp"}));
+  auto out = r.DecideForward(MakeDatagram(5), 2, true, cache);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->tuple.num_values(), 1u);
+  // Adding a hum-projecting profile widens the all-match union.
+  r.table().Add(2, 2, MakeProfile(0, 20, {"hum"}));
+  out = r.DecideForward(MakeDatagram(5), 2, true, cache);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->tuple.num_values(), 2u);
+  // Removing it narrows the union again (invalidation on Remove).
+  EXPECT_TRUE(r.table().Remove(2, 2));
+  out = r.DecideForward(MakeDatagram(5), 2, true, cache);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->tuple.num_values(), 1u);
+  EXPECT_EQ(out->tuple.schema()->attribute(0).name, "temp");
+}
+
+TEST(Router, DeliverLocalIgnoresOtherStreams) {
+  Router r(0);
+  ProjectionCache cache;
+  int hits = 0;
+  r.AddLocal(1, MakeProfile(0, 40),
+             [&](const std::string&, const Tuple&) { ++hits; });
+  auto other_schema = std::make_shared<Schema>(
+      "other", std::vector<AttributeDef>{{"temp", ValueType::kDouble}});
+  Datagram d{"other", Tuple(other_schema, {Value(5.0)}, 0)};
+  EXPECT_EQ(r.DeliverLocal(d, cache), 0u);
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(r.DeliverLocal(MakeDatagram(10), cache), 1u);
+  EXPECT_EQ(hits, 1);
 }
 
 TEST(ProjectionCache, IdentityWhenAllAttributesSelected) {

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Validates BENCH_routing.json, the forwarding-benchmark artifact.
+
+The file is google-benchmark JSON produced by:
+
+    bench_micro --benchmark_filter='BM_RoutingForward' \
+        --benchmark_out=BENCH_routing.json --benchmark_out_format=json
+
+Checks that the run covers table sizes {10^2, 10^3, 10^4} for both the
+stream-partitioned index (BM_RoutingForwardIndexed) and the pre-index
+linear reference (BM_RoutingForwardLinear), each reporting a
+datagrams_per_sec counter, and that the indexed implementation at 10^4
+entries is at least MIN_SPEEDUP x the linear one measured in the same run.
+
+Usage: tools/check_bench.py [BENCH_routing.json]
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP = 5.0
+SIZES = (100, 1000, 10000)
+IMPLS = ("Indexed", "Linear")
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_routing.json"
+    with open(path) as f:
+        data = json.load(f)
+    bench = {b["name"]: b for b in data.get("benchmarks", [])}
+
+    missing = []
+    for impl in IMPLS:
+        for n in SIZES:
+            name = f"BM_RoutingForward{impl}/{n}"
+            if name not in bench:
+                missing.append(name)
+            elif "datagrams_per_sec" not in bench[name]:
+                missing.append(f"{name}:datagrams_per_sec")
+    if missing:
+        print(f"{path} incomplete: missing {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+
+    for n in SIZES:
+        indexed = bench[f"BM_RoutingForwardIndexed/{n}"]["datagrams_per_sec"]
+        linear = bench[f"BM_RoutingForwardLinear/{n}"]["datagrams_per_sec"]
+        print(f"table size {n:>6}: indexed {indexed:>14,.0f} dg/s | "
+              f"linear {linear:>14,.0f} dg/s | {indexed / linear:5.1f}x")
+
+    indexed = bench["BM_RoutingForwardIndexed/10000"]["datagrams_per_sec"]
+    linear = bench["BM_RoutingForwardLinear/10000"]["datagrams_per_sec"]
+    speedup = indexed / linear
+    if speedup < MIN_SPEEDUP:
+        print(f"indexed forwarding at 10^4 entries is only {speedup:.1f}x "
+              f"the linear baseline (need >= {MIN_SPEEDUP}x)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {speedup:.1f}x >= {MIN_SPEEDUP}x at 10^4 entries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
