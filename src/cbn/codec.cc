@@ -190,4 +190,276 @@ Result<Datagram> DecodeDatagram(const std::vector<uint8_t>& bytes) {
   return Datagram{stream, Tuple(std::move(schema), std::move(values), ts)};
 }
 
+namespace {
+
+// Expression trees nest at most this deep on the wire; deeper input is
+// rejected rather than recursed into.
+constexpr int kMaxExprDepth = 64;
+
+Result<ExprPtr> DecodeExpressionAt(Decoder* dec, int depth);
+
+void EncodeInterval(const Interval& iv, Encoder* enc) {
+  enc->PutF64(iv.lo());
+  enc->PutU8(iv.lo_open() ? 1 : 0);
+  enc->PutF64(iv.hi());
+  enc->PutU8(iv.hi_open() ? 1 : 0);
+}
+
+Result<Interval> DecodeInterval(Decoder* dec) {
+  COSMOS_ASSIGN_OR_RETURN(double lo, dec->GetF64());
+  COSMOS_ASSIGN_OR_RETURN(uint8_t lo_open, dec->GetU8());
+  COSMOS_ASSIGN_OR_RETURN(double hi, dec->GetF64());
+  COSMOS_ASSIGN_OR_RETURN(uint8_t hi_open, dec->GetU8());
+  if (lo != lo || hi != hi) {
+    return Status::ParseError("NaN interval endpoint");
+  }
+  return Interval(lo, lo_open != 0, hi, hi_open != 0);
+}
+
+Result<ConjunctiveClause> DecodeClause(Decoder* dec) {
+  ConjunctiveClause clause;
+  COSMOS_ASSIGN_OR_RETURN(uint16_t nconstraints, dec->GetU16());
+  for (uint16_t i = 0; i < nconstraints; ++i) {
+    COSMOS_ASSIGN_OR_RETURN(std::string attr, dec->GetString());
+    COSMOS_ASSIGN_OR_RETURN(Interval iv, DecodeInterval(dec));
+    clause.ConstrainInterval(attr, iv);
+    COSMOS_ASSIGN_OR_RETURN(uint8_t has_eq, dec->GetU8());
+    if (has_eq != 0) {
+      COSMOS_ASSIGN_OR_RETURN(Value eq, DecodeValue(dec));
+      if (eq.is_numeric()) {
+        // A numeric equality is canonically a point interval; a wire
+        // constraint carrying one is not a valid encoding.
+        return Status::ParseError("numeric eq constraint on the wire");
+      }
+      clause.ConstrainEquals(attr, std::move(eq));
+    }
+    COSMOS_ASSIGN_OR_RETURN(uint16_t nneq, dec->GetU16());
+    for (uint16_t k = 0; k < nneq; ++k) {
+      COSMOS_ASSIGN_OR_RETURN(Value v, DecodeValue(dec));
+      if (v.is_numeric()) {
+        return Status::ParseError("numeric neq constraint on the wire");
+      }
+      clause.ConstrainNotEquals(attr, std::move(v));
+    }
+  }
+  COSMOS_ASSIGN_OR_RETURN(uint16_t nresidual, dec->GetU16());
+  for (uint16_t i = 0; i < nresidual; ++i) {
+    COSMOS_ASSIGN_OR_RETURN(ExprPtr e, DecodeExpressionAt(dec, 0));
+    clause.AddResidual(std::move(e));
+  }
+  return clause;
+}
+
+void EncodeClause(const ConjunctiveClause& clause, Encoder* enc) {
+  enc->PutU16(static_cast<uint16_t>(clause.constraints().size()));
+  for (const auto& [attr, c] : clause.constraints()) {
+    enc->PutString(attr);
+    EncodeInterval(c.interval, enc);
+    enc->PutU8(c.eq.has_value() ? 1 : 0);
+    if (c.eq.has_value()) EncodeValue(*c.eq, enc);
+    enc->PutU16(static_cast<uint16_t>(c.neq.size()));
+    for (const Value& v : c.neq) EncodeValue(v, enc);
+  }
+  enc->PutU16(static_cast<uint16_t>(clause.residual().size()));
+  for (const ExprPtr& e : clause.residual()) EncodeExpression(e, enc);
+}
+
+Result<ExprPtr> DecodeExpressionAt(Decoder* dec, int depth) {
+  if (depth > kMaxExprDepth) {
+    return Status::ParseError("expression tree too deep");
+  }
+  COSMOS_ASSIGN_OR_RETURN(uint8_t tag, dec->GetU8());
+  switch (static_cast<ExprKind>(tag)) {
+    case ExprKind::kLiteral: {
+      COSMOS_ASSIGN_OR_RETURN(Value v, DecodeValue(dec));
+      return ExprPtr(std::make_shared<LiteralExpr>(std::move(v)));
+    }
+    case ExprKind::kColumnRef: {
+      COSMOS_ASSIGN_OR_RETURN(std::string qualifier, dec->GetString());
+      COSMOS_ASSIGN_OR_RETURN(std::string name, dec->GetString());
+      return ExprPtr(std::make_shared<ColumnRefExpr>(std::move(qualifier),
+                                                     std::move(name)));
+    }
+    case ExprKind::kComparison: {
+      COSMOS_ASSIGN_OR_RETURN(uint8_t op, dec->GetU8());
+      if (op > static_cast<uint8_t>(CompareOp::kGe)) {
+        return Status::ParseError(StrFormat("bad compare op %u", op));
+      }
+      COSMOS_ASSIGN_OR_RETURN(ExprPtr lhs,
+                              DecodeExpressionAt(dec, depth + 1));
+      COSMOS_ASSIGN_OR_RETURN(ExprPtr rhs,
+                              DecodeExpressionAt(dec, depth + 1));
+      return ExprPtr(std::make_shared<ComparisonExpr>(
+          static_cast<CompareOp>(op), std::move(lhs), std::move(rhs)));
+    }
+    case ExprKind::kLogical: {
+      COSMOS_ASSIGN_OR_RETURN(uint8_t op, dec->GetU8());
+      if (op > static_cast<uint8_t>(LogicalOp::kNot)) {
+        return Status::ParseError(StrFormat("bad logical op %u", op));
+      }
+      COSMOS_ASSIGN_OR_RETURN(uint16_t count, dec->GetU16());
+      std::vector<ExprPtr> children;
+      children.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        COSMOS_ASSIGN_OR_RETURN(ExprPtr child,
+                                DecodeExpressionAt(dec, depth + 1));
+        children.push_back(std::move(child));
+      }
+      // Constructed directly (not via MakeAnd/MakeOr) so the decoded tree
+      // is structurally identical to the encoded one — the factories
+      // flatten nested conjunctions.
+      return ExprPtr(std::make_shared<LogicalExpr>(
+          static_cast<LogicalOp>(op), std::move(children)));
+    }
+    case ExprKind::kArithmetic: {
+      COSMOS_ASSIGN_OR_RETURN(uint8_t op, dec->GetU8());
+      if (op > static_cast<uint8_t>(ArithOp::kDiv)) {
+        return Status::ParseError(StrFormat("bad arith op %u", op));
+      }
+      COSMOS_ASSIGN_OR_RETURN(ExprPtr lhs,
+                              DecodeExpressionAt(dec, depth + 1));
+      COSMOS_ASSIGN_OR_RETURN(ExprPtr rhs,
+                              DecodeExpressionAt(dec, depth + 1));
+      return ExprPtr(std::make_shared<ArithmeticExpr>(
+          static_cast<ArithOp>(op), std::move(lhs), std::move(rhs)));
+    }
+    default:
+      return Status::ParseError(StrFormat("bad expression kind %u", tag));
+  }
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      enc->PutI64(v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      enc->PutF64(v.AsDouble());
+      break;
+    case ValueType::kString:
+      enc->PutString(v.AsString());
+      break;
+    case ValueType::kBool:
+      enc->PutU8(v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+Result<Value> DecodeValue(Decoder* dec) {
+  COSMOS_ASSIGN_OR_RETURN(uint8_t tag, dec->GetU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value();
+    case ValueType::kInt64: {
+      COSMOS_ASSIGN_OR_RETURN(int64_t v, dec->GetI64());
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      COSMOS_ASSIGN_OR_RETURN(double v, dec->GetF64());
+      return Value(v);
+    }
+    case ValueType::kString: {
+      COSMOS_ASSIGN_OR_RETURN(std::string v, dec->GetString());
+      return Value(std::move(v));
+    }
+    case ValueType::kBool: {
+      COSMOS_ASSIGN_OR_RETURN(uint8_t v, dec->GetU8());
+      return Value(v != 0);
+    }
+    default:
+      return Status::ParseError(StrFormat("bad value type tag %u", tag));
+  }
+}
+
+void EncodeExpression(const ExprPtr& expr, Encoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(expr->kind()));
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      EncodeValue(static_cast<const LiteralExpr&>(*expr).value(), enc);
+      break;
+    case ExprKind::kColumnRef: {
+      const auto& col = static_cast<const ColumnRefExpr&>(*expr);
+      enc->PutString(col.qualifier());
+      enc->PutString(col.name());
+      break;
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*expr);
+      enc->PutU8(static_cast<uint8_t>(cmp.op()));
+      EncodeExpression(cmp.lhs(), enc);
+      EncodeExpression(cmp.rhs(), enc);
+      break;
+    }
+    case ExprKind::kLogical: {
+      const auto& log = static_cast<const LogicalExpr&>(*expr);
+      enc->PutU8(static_cast<uint8_t>(log.op()));
+      enc->PutU16(static_cast<uint16_t>(log.children().size()));
+      for (const ExprPtr& child : log.children()) {
+        EncodeExpression(child, enc);
+      }
+      break;
+    }
+    case ExprKind::kArithmetic: {
+      const auto& ar = static_cast<const ArithmeticExpr&>(*expr);
+      enc->PutU8(static_cast<uint8_t>(ar.op()));
+      EncodeExpression(ar.lhs(), enc);
+      EncodeExpression(ar.rhs(), enc);
+      break;
+    }
+  }
+}
+
+Result<ExprPtr> DecodeExpression(Decoder* dec) {
+  return DecodeExpressionAt(dec, 0);
+}
+
+std::vector<uint8_t> EncodeProfile(const Profile& profile) {
+  Encoder enc;
+  enc.PutU16(static_cast<uint16_t>(profile.streams().size()));
+  for (const std::string& stream : profile.streams()) {
+    enc.PutString(stream);
+    const auto& proj = profile.ProjectionOf(stream);
+    enc.PutU16(static_cast<uint16_t>(proj.size()));
+    for (const std::string& attr : proj) enc.PutString(attr);
+  }
+  enc.PutU16(static_cast<uint16_t>(profile.filters().size()));
+  for (const Filter& f : profile.filters()) {
+    enc.PutString(f.stream());
+    EncodeClause(f.clause(), &enc);
+  }
+  return enc.Take();
+}
+
+Result<Profile> DecodeProfile(const std::vector<uint8_t>& bytes) {
+  Decoder dec(bytes);
+  Profile profile;
+  COSMOS_ASSIGN_OR_RETURN(uint16_t nstreams, dec.GetU16());
+  for (uint16_t i = 0; i < nstreams; ++i) {
+    COSMOS_ASSIGN_OR_RETURN(std::string stream, dec.GetString());
+    COSMOS_ASSIGN_OR_RETURN(uint16_t nproj, dec.GetU16());
+    std::vector<std::string> proj;
+    proj.reserve(nproj);
+    for (uint16_t k = 0; k < nproj; ++k) {
+      COSMOS_ASSIGN_OR_RETURN(std::string attr, dec.GetString());
+      proj.push_back(std::move(attr));
+    }
+    profile.AddStream(stream, std::move(proj));
+  }
+  COSMOS_ASSIGN_OR_RETURN(uint16_t nfilters, dec.GetU16());
+  for (uint16_t i = 0; i < nfilters; ++i) {
+    COSMOS_ASSIGN_OR_RETURN(std::string stream, dec.GetString());
+    COSMOS_ASSIGN_OR_RETURN(ConjunctiveClause clause, DecodeClause(&dec));
+    profile.AddFilter(Filter(std::move(stream), std::move(clause)));
+  }
+  if (!dec.AtEnd()) {
+    return Status::ParseError("trailing bytes after profile");
+  }
+  return profile;
+}
+
 }  // namespace cosmos

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cbn/datagram.h"
+#include "cbn/profile.h"
 
 namespace cosmos {
 
@@ -69,6 +70,40 @@ std::vector<uint8_t> EncodeDatagram(const Datagram& d);
 // Reconstructs a datagram; the schema is rebuilt from the inline names and
 // type tags (no ranges — wire datagrams carry values, not statistics).
 Result<Datagram> DecodeDatagram(const std::vector<uint8_t>& bytes);
+
+// ---- profile wire format ----
+//
+// Subscription profiles are the control-plane payload of the CBN: a real
+// deployment propagates exactly these bytes hop-by-hop (the in-process
+// network shares Profile objects, but control_messages_ accounting and the
+// DST codec fuzzing are calibrated against this format).
+//
+// Layout (little-endian):
+//   u16 stream count; per stream:
+//     u32-prefixed name, u16 projection-attribute count, u32-prefixed names
+//   u16 filter count; per filter:
+//     u32-prefixed stream name
+//     u16 constraint count; per constraint (attribute-name sorted):
+//       u32-prefixed attribute name
+//       f64 interval lo, u8 lo_open, f64 hi, u8 hi_open
+//       u8 has_eq [+ value], u16 neq count + values
+//     u16 residual count + expression trees
+//
+// Values are a u8 ValueType tag plus the datagram payload encoding;
+// expressions are a u8 ExprKind tag plus kind-specific fields (literals
+// carry a value, column refs two strings, comparisons/arithmetic an op tag
+// and two subtrees, logicals an op tag and a u16-counted child list).
+
+void EncodeValue(const Value& v, Encoder* enc);
+Result<Value> DecodeValue(Decoder* dec);
+
+// `expr` must be non-null. Decoding rejects trees deeper than an internal
+// limit so malformed input cannot exhaust the stack.
+void EncodeExpression(const ExprPtr& expr, Encoder* enc);
+Result<ExprPtr> DecodeExpression(Decoder* dec);
+
+std::vector<uint8_t> EncodeProfile(const Profile& profile);
+Result<Profile> DecodeProfile(const std::vector<uint8_t>& bytes);
 
 }  // namespace cosmos
 

@@ -35,8 +35,12 @@ bool ProjectionCovers(const std::vector<std::string>& wide,
 bool ProfileCovers(const Profile& wide, const Profile& narrow) {
   for (const auto& stream : narrow.streams()) {
     if (!wide.WantsStream(stream)) return false;
-    if (!ProjectionCovers(wide.ProjectionOf(stream),
-                          narrow.ProjectionOf(stream))) {
+    // Compare *required* attribute sets (projection plus filter-referenced
+    // attributes), not raw projections: when a pruned subscription's entry
+    // sits downstream of links that early-project to the coverer's required
+    // set, its filters must still be evaluable on what survives.
+    if (!ProjectionCovers(wide.RequiredAttributes(stream),
+                          narrow.RequiredAttributes(stream))) {
       return false;
     }
     auto wide_filters = wide.FiltersOf(stream);

@@ -16,8 +16,9 @@ namespace cosmos {
 bool FilterCovers(const Filter& wide, const Filter& narrow);
 
 // True iff every datagram covered by `narrow` is covered by `wide`, and
-// `wide` retains at least the attributes `narrow` needs (projection
-// superset per stream; "all" covers anything).
+// `wide` retains at least the attributes `narrow` needs — its projection
+// plus the attributes its filters reference, so the narrow profile stays
+// evaluable downstream of early projection ("all" covers anything).
 bool ProfileCovers(const Profile& wide, const Profile& narrow);
 
 // Union of two profiles: S/P unions, filter concatenation with

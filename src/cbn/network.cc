@@ -10,6 +10,38 @@
 
 namespace cosmos {
 
+const char* TraceEventKindToString(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kPublish:
+      return "publish";
+    case TraceEvent::Kind::kForward:
+      return "forward";
+    case TraceEvent::Kind::kDeliver:
+      return "deliver";
+    case TraceEvent::Kind::kBuffer:
+      return "buffer";
+    case TraceEvent::Kind::kDrop:
+      return "drop";
+    case TraceEvent::Kind::kRecover:
+      return "recover";
+  }
+  return "?";
+}
+
+void ContentBasedNetwork::Trace(TraceEvent::Kind kind, NodeId node,
+                                NodeId peer, size_t count,
+                                const Datagram& d) const {
+  if (!trace_sink_) return;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.node = node;
+  ev.peer = peer;
+  ev.count = count;
+  ev.stream = d.stream;
+  ev.timestamp = d.tuple.timestamp();
+  trace_sink_(ev);
+}
+
 ContentBasedNetwork::ContentBasedNetwork(DisseminationTree tree,
                                          NetworkOptions options,
                                          Simulator* sim)
@@ -173,17 +205,24 @@ void ContentBasedNetwork::AccountLink(NodeId u, NodeId v, const Datagram& d) {
   ++total_forwards_;
 }
 
-std::vector<bool> ContentBasedNetwork::ComponentAvoidingFailures(
-    NodeId start) const {
+std::vector<bool> ContentBasedNetwork::ComponentBeyondEdge(
+    NodeId start, NodeId blocked_from) const {
+  // Membership of `start`'s side of the single tree edge
+  // (blocked_from, start): exactly the nodes the datagram stopped at that
+  // edge never reached. Other failed links are crossed freely — nodes
+  // beyond them have not seen the datagram either (the tree path is
+  // unique), and distinct buffered copies of one datagram always record
+  // disjoint sides.
   std::vector<bool> in(num_nodes(), false);
   std::queue<NodeId> q;
   q.push(start);
   in[start] = true;
+  const auto blocked = DisseminationTree::EdgeKey(start, blocked_from);
   while (!q.empty()) {
     NodeId u = q.front();
     q.pop();
     for (const auto& [v, w] : tree_.Neighbors(u)) {
-      if (in[v] || LinkFailed(u, v)) continue;
+      if (in[v] || DisseminationTree::EdgeKey(u, v) == blocked) continue;
       in[v] = true;
       q.push(v);
     }
@@ -194,27 +233,45 @@ std::vector<bool> ContentBasedNetwork::ComponentAvoidingFailures(
 size_t ContentBasedNetwork::Process(NodeId node, NodeId from,
                                     const Datagram& d,
                                     const std::vector<bool>* allowed) {
-  size_t delivered = routers_[node].DeliverLocal(d, projection_cache_);
-  total_deliveries_ += delivered;
+  // `allowed` marks the nodes that have NOT yet seen this datagram (a
+  // post-repair flush into the side a failed link cut off). It restricts
+  // *delivery*, never forwarding: after a repair (or a wholesale tree
+  // rebuild) the surviving route to an unserved subscriber may pass through
+  // already-served nodes, so a forwarding restriction would strand the
+  // datagram. Served nodes merely relay; only unserved ones deliver.
+  size_t delivered = 0;
+  if (allowed == nullptr || (*allowed)[node]) {
+    delivered = routers_[node].DeliverLocal(d, projection_cache_);
+    total_deliveries_ += delivered;
+    if (delivered > 0) {
+      Trace(TraceEvent::Kind::kDeliver, node, from, delivered, d);
+    }
+  }
 
   for (const auto& [neighbor, weight] : tree_.Neighbors(node)) {
     if (neighbor == from) continue;
-    if (allowed != nullptr && !(*allowed)[neighbor]) continue;
     std::optional<Datagram> out = routers_[node].DecideForward(
         d, neighbor, options_.early_projection, projection_cache_);
     if (!out.has_value()) continue;
     if (LinkFailed(node, neighbor)) {
       if (options_.buffer_on_failure) {
         // Hold a copy for the cut-off side; it resumes after Repair()
-        // inside exactly that component, so nobody sees it twice.
+        // delivering exactly there, so nobody sees it twice.
         buffered_.push_back(Buffered{
-            neighbor, ComponentAvoidingFailures(neighbor), *out});
+            neighbor, ComponentBeyondEdge(neighbor, node), *out});
+        Trace(TraceEvent::Kind::kBuffer, node, neighbor, 0, *out);
       } else {
         ++lost_datagrams_;
+        Trace(TraceEvent::Kind::kDrop, node, neighbor, 0, *out);
       }
       continue;
     }
-    AccountLink(node, neighbor, *out);
+    if (allowed == nullptr) {
+      // Flush retransmissions travel over the recovery channel and are not
+      // charged to the per-link byte counters.
+      AccountLink(node, neighbor, *out);
+    }
+    Trace(TraceEvent::Kind::kForward, node, neighbor, 0, *out);
     if (sim_ != nullptr) {
       // Link weight is the delay in milliseconds.
       Duration delay = static_cast<Duration>(weight * kMillisecond);
@@ -245,6 +302,7 @@ size_t ContentBasedNetwork::Publish(NodeId node, const Datagram& datagram) {
     COSMOS_CHECK(publishers != nullptr && publishers->count(node) > 0)
         << "node " << node << " advertises a stream it never registered";
   }
+  Trace(TraceEvent::Kind::kPublish, node, -1, 0, datagram);
   return Process(node, /*from=*/-1, datagram);
 }
 
@@ -333,13 +391,15 @@ Status ContentBasedNetwork::RebuildTree(DisseminationTree tree) {
 }
 
 void ContentBasedNetwork::FlushBuffered() {
-  // Flush buffered datagrams into the component they never reached; the
-  // restriction to that component guarantees no duplicate deliveries on the
-  // healthy side. (The retransmission itself travels over a recovery
+  // Flush buffered datagrams to the nodes they never reached; restricting
+  // *delivery* to that membership guarantees no duplicates on the healthy
+  // side, while forwarding stays unrestricted so the repaired tree can
+  // route through it. (The retransmission itself travels over a recovery
   // channel and is not charged to the byte counters.)
   std::deque<Buffered> pending = std::move(buffered_);
   buffered_.clear();
   for (auto& b : pending) {
+    Trace(TraceEvent::Kind::kRecover, b.entry, -1, 0, b.datagram);
     Process(b.entry, /*from=*/-1, b.datagram, &b.allowed);
     ++recovered_datagrams_;
   }

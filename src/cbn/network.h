@@ -2,6 +2,7 @@
 #define COSMOS_CBN_NETWORK_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,6 +23,30 @@ struct LinkStats {
   uint64_t datagrams = 0;
   uint64_t bytes = 0;
 };
+
+// One observable data-layer event. The DST harness installs a sink to
+// record an event trace it can print alongside a failing seed; the tap
+// costs nothing when unset.
+struct TraceEvent {
+  enum class Kind {
+    kPublish,  // datagram entered the CBN at `node`
+    kForward,  // one hop `node` -> `peer`
+    kDeliver,  // `count` local deliveries at `node`
+    kBuffer,   // held at failed link for the component entered at `peer`
+    kDrop,     // lost at failed link `node` -> `peer` (buffering off)
+    kRecover,  // buffered datagram re-entering at `node` after repair
+  };
+  Kind kind = Kind::kPublish;
+  NodeId node = -1;
+  NodeId peer = -1;
+  size_t count = 0;  // kDeliver only
+  std::string stream;
+  Timestamp timestamp = 0;  // tuple event time
+};
+
+const char* TraceEventKindToString(TraceEvent::Kind kind);
+
+using TraceSink = std::function<void(const TraceEvent&)>;
 
 struct NetworkOptions {
   // Early projection (paper §3.1 extension). Off reproduces a traditional
@@ -85,6 +110,9 @@ class ContentBasedNetwork {
   Status FailLink(NodeId u, NodeId v);
 
   bool HasFailedLinks() const { return !failed_links_.empty(); }
+  const std::set<std::pair<NodeId, NodeId>>& failed_links() const {
+    return failed_links_;
+  }
 
   // Repairs every failed link by splicing in the cheapest overlay edge
   // across each cut, rebuilding all routing state from the subscription
@@ -121,6 +149,9 @@ class ContentBasedNetwork {
   const Router& router(NodeId node) const { return routers_[node]; }
   const std::set<NodeId>* PublishersOf(const std::string& stream) const;
 
+  // Installs (or clears, with nullptr) the event-trace tap.
+  void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
+
  private:
   struct Subscription {
     NodeId node = -1;
@@ -138,14 +169,19 @@ class ContentBasedNetwork {
   std::optional<std::set<NodeId>> ScopeOf(NodeId subscriber,
                                           const Profile& profile) const;
   // Processes `d` at `node` arriving from `from` (-1 = published locally).
-  // When `allowed` is non-null, forwarding is restricted to nodes with
-  // allowed[v] == true (post-repair flushing into the cut-off component).
+  // When `allowed` is non-null, *delivery* is restricted to nodes with
+  // allowed[v] == true (post-repair flushing into the side a failed link
+  // cut off); forwarding is unrestricted so the flush can route through
+  // already-served nodes when the repaired tree demands it.
   size_t Process(NodeId node, NodeId from, const Datagram& d,
                  const std::vector<bool>* allowed = nullptr);
-  // Membership of the component reachable from `start` without crossing
-  // failed links.
-  std::vector<bool> ComponentAvoidingFailures(NodeId start) const;
+  // Membership of `start`'s side of the tree edge (blocked_from, start) —
+  // the nodes a datagram stopped at that edge has not reached.
+  std::vector<bool> ComponentBeyondEdge(NodeId start,
+                                        NodeId blocked_from) const;
   void AccountLink(NodeId u, NodeId v, const Datagram& d);
+  void Trace(TraceEvent::Kind kind, NodeId node, NodeId peer, size_t count,
+             const Datagram& d) const;
   bool LinkFailed(NodeId u, NodeId v) const {
     return failed_links_.count(DisseminationTree::EdgeKey(u, v)) > 0;
   }
@@ -163,6 +199,7 @@ class ContentBasedNetwork {
   DisseminationTree tree_;
   NetworkOptions options_;
   Simulator* sim_;
+  TraceSink trace_sink_;
   std::vector<Router> routers_;
   ProjectionCache projection_cache_;
   ProfileId next_profile_id_ = 1;
@@ -172,7 +209,9 @@ class ContentBasedNetwork {
   std::set<std::pair<NodeId, NodeId>> failed_links_;
   struct Buffered {
     NodeId entry;               // far endpoint of the failed link
-    std::vector<bool> allowed;  // far-component membership at buffer time
+    // Nodes on the far side of the failed link at buffer time — the ones
+    // that have not seen the datagram. Flushing delivers only to them.
+    std::vector<bool> allowed;
     Datagram datagram;
   };
   std::deque<Buffered> buffered_;

@@ -8,8 +8,10 @@
 namespace cosmos {
 
 const ProjectionCache::Plan& ProjectionCache::PlanFor(
-    const Schema& schema, const std::vector<std::string>& attrs) {
-  Key key{&schema, StrJoin(attrs, ",")};
+    const std::shared_ptr<const Schema>& schema_ptr,
+    const std::vector<std::string>& attrs) {
+  const Schema& schema = *schema_ptr;
+  Key key{schema_ptr, StrJoin(attrs, ",")};
   auto it = plans_.find(key);
   if (it != plans_.end()) return it->second;
 
@@ -38,7 +40,7 @@ const ProjectionCache::Plan& ProjectionCache::PlanFor(
 
 Datagram ProjectionCache::Project(const Datagram& d,
                                   const std::vector<std::string>& attrs) {
-  const Plan& plan = PlanFor(*d.tuple.schema(), attrs);
+  const Plan& plan = PlanFor(d.tuple.schema(), attrs);
   if (plan.identity) return d;
   return Datagram{d.stream, d.tuple.Project(plan.indices, plan.schema)};
 }

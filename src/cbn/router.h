@@ -24,16 +24,21 @@ class ProjectionCache {
   Datagram Project(const Datagram& d, const std::vector<std::string>& attrs);
 
  private:
+  // The key RETAINS the source schema: entries are looked up by address,
+  // and holding the shared_ptr guarantees no other schema can ever be
+  // allocated at a cached address (an address reuse would silently apply a
+  // stale plan built for a different layout).
   struct Key {
-    const Schema* schema;
+    std::shared_ptr<const Schema> schema;
     std::string attrs_key;
     bool operator==(const Key& other) const {
-      return schema == other.schema && attrs_key == other.attrs_key;
+      return schema.get() == other.schema.get() &&
+             attrs_key == other.attrs_key;
     }
   };
   struct KeyHash {
     size_t operator()(const Key& k) const {
-      return std::hash<const void*>{}(k.schema) ^
+      return std::hash<const void*>{}(k.schema.get()) ^
              std::hash<std::string>{}(k.attrs_key);
     }
   };
@@ -43,7 +48,7 @@ class ProjectionCache {
     bool identity = false;
   };
 
-  const Plan& PlanFor(const Schema& schema,
+  const Plan& PlanFor(const std::shared_ptr<const Schema>& schema,
                       const std::vector<std::string>& attrs);
 
   std::unordered_map<Key, Plan, KeyHash> plans_;

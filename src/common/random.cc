@@ -87,8 +87,8 @@ size_t Rng::NextWeighted(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
-Rng Rng::Fork(uint64_t stream) const {
-  // Mix the original seed with the stream id through SplitMix so forked
+Rng Rng::Derive(uint64_t stream) const {
+  // Mix the original seed with the stream id through SplitMix so derived
   // generators are decorrelated from the parent and from each other.
   uint64_t sm = seed_ ^ (0xA5A5A5A5DEADBEEFULL + stream * 0x9E3779B97F4A7C15ULL);
   return Rng(SplitMix64(sm));

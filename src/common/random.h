@@ -51,8 +51,15 @@ class Rng {
   // Requires a non-empty vector with a positive total weight.
   size_t NextWeighted(const std::vector<double>& weights);
 
-  // Derives an independent generator: stream `i` from this seed.
-  Rng Fork(uint64_t stream) const;
+  // Derives an independent generator for stream `stream` of this seed. The
+  // derivation is a pure function of (seed, stream) — it does not depend on
+  // how many values this generator has produced — so a scenario generator
+  // can hand each concern (topology, workload, faults, ...) its own
+  // decorrelated stream and reproduce any of them in isolation.
+  Rng Derive(uint64_t stream) const;
+
+  // Legacy alias for Derive (kept for existing call sites).
+  Rng Fork(uint64_t stream) const { return Derive(stream); }
 
  private:
   uint64_t s_[4];

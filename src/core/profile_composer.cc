@@ -95,12 +95,13 @@ DeliveryCallback MakePresentationCallback(const AnalyzedQuery& user,
     return inner;
   }
   // Per delivered schema (the CBN may deliver projections), cache the
-  // index of each user column.
+  // index of each user column. Keys retain their schema so pointer
+  // identity stays unambiguous for the callback's whole lifetime.
   struct State {
     std::vector<std::string> rep_names;
     std::shared_ptr<const Schema> user_schema;
     DeliveryCallback inner;
-    std::map<const Schema*, std::vector<int>> mappings;
+    std::map<std::shared_ptr<const Schema>, std::vector<int>> mappings;
   };
   auto state = std::make_shared<State>();
   state->rep_names = std::move(*rep_names);
@@ -119,7 +120,7 @@ DeliveryCallback MakePresentationCallback(const AnalyzedQuery& user,
       }
       return;
     }
-    auto it = state->mappings.find(t.schema().get());
+    auto it = state->mappings.find(t.schema());
     if (it == state->mappings.end()) {
       std::vector<int> mapping;
       mapping.reserve(state->rep_names.size());
@@ -127,8 +128,7 @@ DeliveryCallback MakePresentationCallback(const AnalyzedQuery& user,
         auto idx = t.schema()->IndexOf(name);
         mapping.push_back(idx.has_value() ? static_cast<int>(*idx) : -1);
       }
-      it = state->mappings.emplace(t.schema().get(), std::move(mapping))
-               .first;
+      it = state->mappings.emplace(t.schema(), std::move(mapping)).first;
     }
     std::vector<Value> values;
     values.reserve(it->second.size());

@@ -127,6 +127,7 @@ Status CosmosSystem::PublishSourceTuple(const std::string& stream,
         StrFormat("stream '%s' has no publisher node", stream.c_str()));
   }
   Datagram d{stream, tuple};
+  if (injection_log_enabled_) injection_log_.emplace_back(stream, tuple);
   rate_monitor_.Record(stream, tuple.timestamp(), d.SerializedSize());
   if (tuple.timestamp() > max_event_time_) {
     max_event_time_ = tuple.timestamp();

@@ -1,0 +1,84 @@
+#include "harness/oracle.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace cosmos {
+
+GroundTruthOracle::GroundTruthOracle(const Catalog* catalog)
+    : catalog_(catalog) {}
+
+Status GroundTruthOracle::Submit(const std::string& tag,
+                                 const std::string& cql) {
+  if (entries_.count(tag) > 0) {
+    return Status::AlreadyExists(StrFormat("oracle tag '%s'", tag.c_str()));
+  }
+  COSMOS_ASSIGN_OR_RETURN(
+      AnalyzedQuery analyzed,
+      ParseAndAnalyze(cql, *catalog_, "oracle_" + tag));
+  Entry entry;
+  entry.query = analyzed;
+  entry.engine = std::make_unique<SpeEngine>();
+  entry.results = std::make_unique<std::vector<Tuple>>();
+  std::vector<Tuple>* sink = entry.results.get();
+  COSMOS_RETURN_IF_ERROR(entry.engine->InstallQuery(
+      tag, analyzed, [sink](const std::string&, const Tuple& t) {
+        sink->push_back(t);
+      }));
+  entries_.emplace(tag, std::move(entry));
+  return Status::OK();
+}
+
+Status GroundTruthOracle::Remove(const std::string& tag) {
+  auto it = entries_.find(tag);
+  if (it == entries_.end()) {
+    return Status::NotFound(StrFormat("oracle tag '%s'", tag.c_str()));
+  }
+  it->second.live = false;
+  return Status::OK();
+}
+
+void GroundTruthOracle::Inject(const std::string& stream,
+                               const Tuple& tuple) {
+  for (auto& [tag, entry] : entries_) {
+    if (!entry.live) continue;
+    entry.engine->PushSourceTuple(stream, tuple);
+  }
+}
+
+std::vector<std::string> GroundTruthOracle::Tags() const {
+  std::vector<std::string> tags;
+  tags.reserve(entries_.size());
+  for (const auto& [tag, entry] : entries_) tags.push_back(tag);
+  return tags;
+}
+
+const AnalyzedQuery* GroundTruthOracle::Query(const std::string& tag) const {
+  auto it = entries_.find(tag);
+  return it == entries_.end() ? nullptr : &it->second.query;
+}
+
+const std::vector<Tuple>& GroundTruthOracle::ResultsFor(
+    const std::string& tag) const {
+  static const std::vector<Tuple> kEmpty;
+  auto it = entries_.find(tag);
+  return it == entries_.end() ? kEmpty : *it->second.results;
+}
+
+std::vector<Tuple> GroundTruthOracle::Evaluate(
+    const AnalyzedQuery& query,
+    const std::vector<std::pair<std::string, Tuple>>& log) {
+  SpeEngine engine;
+  std::vector<Tuple> results;
+  Status status = engine.InstallQuery(
+      "eval", query, [&results](const std::string&, const Tuple& t) {
+        results.push_back(t);
+      });
+  COSMOS_CHECK(status.ok());
+  for (const auto& [stream, tuple] : log) {
+    engine.PushSourceTuple(stream, tuple);
+  }
+  return results;
+}
+
+}  // namespace cosmos

@@ -4,7 +4,7 @@ namespace cosmos {
 
 bool LazyPredicate::Matches(const Tuple& tuple) {
   if (expr_ == nullptr) return true;
-  const Schema* key = tuple.schema().get();
+  const std::shared_ptr<const Schema>& key = tuple.schema();
   auto it = bound_.find(key);
   if (it == bound_.end()) {
     auto bound = BoundPredicate::Bind(expr_, *tuple.schema());
@@ -25,7 +25,7 @@ void SelectOperator::Push(size_t port, const Tuple& tuple) {
 
 void AdaptOperator::Push(size_t port, const Tuple& tuple) {
   (void)port;
-  const Schema* key = tuple.schema().get();
+  const std::shared_ptr<const Schema>& key = tuple.schema();
   auto it = mappings_.find(key);
   if (it == mappings_.end()) {
     std::vector<int> mapping;

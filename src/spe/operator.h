@@ -51,7 +51,12 @@ class LazyPredicate {
 
  private:
   ExprPtr expr_;
-  std::unordered_map<const Schema*, std::shared_ptr<BoundPredicate>> bound_;
+  // Keyed by pointer identity, but the shared_ptr key RETAINS the schema so
+  // a freed schema's address can never be reused for a different layout
+  // while its binding is cached.
+  std::unordered_map<std::shared_ptr<const Schema>,
+                     std::shared_ptr<BoundPredicate>>
+      bound_;
 };
 
 // Filters by a predicate.
@@ -78,8 +83,10 @@ class AdaptOperator final : public Operator {
 
  private:
   std::shared_ptr<const Schema> target_;
-  // Per input schema: index of each target attribute, or npos marker.
-  std::unordered_map<const Schema*, std::vector<int>> mappings_;
+  // Per input schema (retained — see LazyPredicate): index of each target
+  // attribute, or -1 marker.
+  std::unordered_map<std::shared_ptr<const Schema>, std::vector<int>>
+      mappings_;
 };
 
 // Projects fixed indexes onto an output schema (optionally renaming).

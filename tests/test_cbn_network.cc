@@ -373,5 +373,47 @@ TEST_P(CbnDeliveryPropertyTest, DeliveryEqualsCoverage) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CbnDeliveryPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// Regression for DST seed 313: a filtered subscription propagated after an
+// unfiltered one projecting the same attributes used to be covering-pruned,
+// after which early projection stripped the filtered attribute upstream and
+// the filtered subscriber went deaf — initially or after a tree rebuild.
+TEST(Network, PrunedFilteredSubscriberStillServedUnderEarlyProjection) {
+  // Chain 0-1-2-3; publisher at 0.
+  auto tree = DisseminationTree::FromEdges(
+                  4, {Edge{0, 1, 1.0}, Edge{1, 2, 1.0}, Edge{2, 3, 1.0}})
+                  .value();
+  ContentBasedNetwork net(std::move(tree));
+  int plain_hits = 0;
+  int filtered_hits = 0;
+  Profile plain;  // everything, but only "hum" retained
+  plain.AddStream("s", {"hum"});
+  net.Subscribe(2, plain,
+                [&](const std::string&, const Tuple&) { ++plain_hits; });
+  Profile filtered;  // same projection, but needs "temp" to decide
+  filtered.AddStream("s", {"hum"});
+  filtered.AddFilter(Filter("s", Clause("temp > 20")));
+  net.Subscribe(3, filtered,
+                [&](const std::string&, const Tuple&) { ++filtered_hits; });
+
+  net.Publish(0, MakeDatagram(25, 50));
+  EXPECT_EQ(plain_hits, 1);
+  EXPECT_EQ(filtered_hits, 1) << "filtered subscriber starved of 'temp'";
+
+  // Rebuilding reinstalls subscriptions in registry order (unfiltered
+  // first), the exact shape that used to trigger the faulty prune.
+  auto same_tree = DisseminationTree::FromEdges(
+                       4, {Edge{0, 1, 1.0}, Edge{1, 2, 1.0}, Edge{2, 3, 1.0}})
+                       .value();
+  ASSERT_TRUE(net.RebuildTree(std::move(same_tree)).ok());
+  net.Publish(0, MakeDatagram(30, 60));
+  EXPECT_EQ(plain_hits, 2);
+  EXPECT_EQ(filtered_hits, 2) << "filtered subscriber deaf after rebuild";
+
+  // Below the filter threshold only the unfiltered subscriber fires.
+  net.Publish(0, MakeDatagram(10, 70));
+  EXPECT_EQ(plain_hits, 3);
+  EXPECT_EQ(filtered_hits, 2);
+}
+
 }  // namespace
 }  // namespace cosmos

@@ -80,6 +80,25 @@ TEST(ProfileCovering, EveryNarrowFilterNeedsAWideCover) {
   EXPECT_FALSE(ProfileCovers(wide, narrow));
 }
 
+TEST(ProfileCovering, FilterAttributesCountAsNeeded) {
+  // Found by DST seed 313: `wide` projecting exactly `narrow`'s projection
+  // is not enough — `narrow`'s filter references "temp", and downstream of
+  // links early-projected to `wide`'s required set {hum} that filter can
+  // never match again. Coverage must compare required-attribute sets.
+  Profile wide;
+  wide.AddStream("s", {"hum"});
+  Profile narrow;
+  narrow.AddStream("s", {"hum"});
+  narrow.AddFilter(Filter("s", Clause("temp > 10")));
+  EXPECT_FALSE(ProfileCovers(wide, narrow));
+
+  // Widening the projection to include the filtered attribute restores
+  // coverage.
+  Profile wide_enough;
+  wide_enough.AddStream("s", {"hum", "temp"});
+  EXPECT_TRUE(ProfileCovers(wide_enough, narrow));
+}
+
 TEST(ProfileCovering, ReflexiveOnItself) {
   Profile p;
   p.AddStream("s", {"temp"});
