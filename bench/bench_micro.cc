@@ -280,6 +280,90 @@ void BM_CbnPublish(benchmark::State& state) {
 }
 BENCHMARK(BM_CbnPublish);
 
+// ---- telemetry overhead ----
+//
+// The instruments are meant to stay on everywhere, so their hot-path cost
+// is gated: BM_CounterHotPath measures one cached-handle increment, and the
+// BM_ForwardWith/WithoutTelemetry pair publishes through an instrumented vs
+// bare CBN — tools/check_bench.py requires the instrumented throughput to
+// stay within 5% of the bare one (BENCH_routing.json).
+
+void BM_CounterHotPath(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("bench.count");
+  Histogram* hist = registry.GetHistogram("bench.bytes");
+  uint64_t v = 0;
+  for (auto _ : state) {
+    counter->Increment();
+    hist->Observe(v++ & 1023);
+    benchmark::ClobberMemory();
+  }
+  state.counters["updates_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CounterHotPath);
+
+// A 100-node CBN with 50 range subscriptions, publishing one matching
+// sensor datagram per iteration (same shape as BM_CbnPublish).
+struct TelemetryForwardFixture {
+  TelemetryForwardFixture() : network(MakeTree()) {
+    SensorDataset sensors;
+    schema = sensors.SchemaOf(0);
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+      Profile p;
+      ConjunctiveClause c;
+      c.ConstrainInterval("ambient_temperature",
+                          Interval(rng.NextDouble(-10, 10), false,
+                                   rng.NextDouble(15, 35), false));
+      p.AddStream(schema->stream_name(),
+                  {"ambient_temperature", "relative_humidity"});
+      p.AddFilter(Filter(schema->stream_name(), c));
+      network.Subscribe(static_cast<NodeId>(rng.NextBounded(100)),
+                        std::move(p), nullptr);
+    }
+    d = Datagram{schema->stream_name(), MakeSensorTuple(schema, 18.0, 1)};
+  }
+
+  static DisseminationTree MakeTree() {
+    TopologyOptions topo_opts;
+    topo_opts.num_nodes = 100;
+    topo_opts.seed = 12;
+    Topology topo = GenerateBarabasiAlbert(topo_opts);
+    return DisseminationTree::FromEdges(topo_opts.num_nodes,
+                                        *MinimumSpanningTree(topo.graph))
+        .value();
+  }
+
+  ContentBasedNetwork network;
+  std::shared_ptr<const Schema> schema;
+  Datagram d;
+};
+
+void BM_ForwardWithoutTelemetry(benchmark::State& state) {
+  TelemetryForwardFixture fix;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fix.network.Publish(0, fix.d));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["datagrams_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ForwardWithoutTelemetry);
+
+void BM_ForwardWithTelemetry(benchmark::State& state) {
+  TelemetryForwardFixture fix;
+  MetricsRegistry registry;
+  fix.network.SetTelemetry(&registry, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fix.network.Publish(0, fix.d));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["datagrams_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ForwardWithTelemetry);
+
 // ---- CBN forwarding: stream-partitioned index vs pre-index linear scan ----
 //
 // Models one broker link carrying range(0) routing entries spread over

@@ -56,6 +56,63 @@ const std::set<NodeId>* ContentBasedNetwork::PublishersOf(
   return it == advertisements_.end() ? nullptr : &it->second;
 }
 
+void ContentBasedNetwork::SetTelemetry(MetricsRegistry* metrics,
+                                       Tracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  stream_counters_.clear();
+  link_counters_.clear();
+  if (metrics_ == nullptr) {
+    forwards_counter_ = nullptr;
+    forwarded_bytes_counter_ = nullptr;
+    recovery_forwards_counter_ = nullptr;
+    deliveries_counter_ = nullptr;
+    matches_counter_ = nullptr;
+    control_counter_ = nullptr;
+    datagram_bytes_hist_ = nullptr;
+    return;
+  }
+  forwards_counter_ = metrics_->GetCounter("cbn.forwards");
+  forwarded_bytes_counter_ = metrics_->GetCounter("cbn.forwarded_bytes");
+  recovery_forwards_counter_ = metrics_->GetCounter("cbn.recovery_forwards");
+  deliveries_counter_ = metrics_->GetCounter("cbn.deliveries");
+  matches_counter_ = metrics_->GetCounter("cbn.matches");
+  control_counter_ = metrics_->GetCounter("cbn.control_messages");
+  datagram_bytes_hist_ = metrics_->GetHistogram("cbn.datagram_bytes");
+}
+
+ContentBasedNetwork::StreamCounters* ContentBasedNetwork::StreamMetrics(
+    const std::string& stream) {
+  auto it = stream_counters_.find(stream);
+  if (it != stream_counters_.end()) return &it->second;
+  StreamCounters sc;
+  sc.published = metrics_->GetCounter("cbn.published", "stream", stream);
+  sc.published_bytes =
+      metrics_->GetCounter("cbn.published_bytes", "stream", stream);
+  sc.delivered = metrics_->GetCounter("cbn.delivered", "stream", stream);
+  sc.delivered_recovery =
+      metrics_->GetCounter("cbn.delivered_recovery", "stream", stream);
+  sc.buffered = metrics_->GetCounter("cbn.buffered", "stream", stream);
+  sc.flushed = metrics_->GetCounter("cbn.flushed", "stream", stream);
+  sc.dropped = metrics_->GetCounter("cbn.dropped", "stream", stream);
+  sc.forwarded = metrics_->GetCounter("cbn.forwarded", "stream", stream);
+  sc.forwarded_bytes =
+      metrics_->GetCounter("cbn.forwarded_bytes", "stream", stream);
+  return &stream_counters_.emplace(stream, sc).first->second;
+}
+
+void ContentBasedNetwork::CountControl() {
+  ++control_messages_;
+  if (control_counter_ != nullptr) control_counter_->Increment();
+}
+
+void ContentBasedNetwork::ForEachSubscription(
+    const std::function<void(NodeId, const Profile&)>& fn) const {
+  for (const auto& [id, sub] : subscriptions_) {
+    fn(sub.node, *sub.profile);
+  }
+}
+
 void ContentBasedNetwork::Advertise(NodeId node, const std::string& stream) {
   COSMOS_CHECK(node >= 0 && node < num_nodes()) << "node " << node;
   auto& publishers = advertisements_[stream];
@@ -106,7 +163,7 @@ void ContentBasedNetwork::InstallAlongPath(NodeId publisher,
     RoutingTable& table = routers_[node].table();
     if (!table.Contains(toward, id)) {
       table.Add(toward, id, profile);
-      ++control_messages_;
+      CountControl();
     }
   }
 }
@@ -139,7 +196,7 @@ void ContentBasedNetwork::PropagateSubscription(NodeId subscriber,
   std::queue<Hop> q;
   for (const auto& [n, w] : tree_.Neighbors(subscriber)) {
     q.push(Hop{n, subscriber});
-    ++control_messages_;
+    CountControl();
   }
   while (!q.empty()) {
     Hop h = q.front();
@@ -159,7 +216,7 @@ void ContentBasedNetwork::PropagateSubscription(NodeId subscriber,
     for (const auto& [n, w] : tree_.Neighbors(h.node)) {
       if (n == h.prev) continue;
       q.push(Hop{n, h.node});
-      ++control_messages_;
+      CountControl();
     }
   }
 }
@@ -197,12 +254,34 @@ bool ContentBasedNetwork::Unsubscribe(ProfileId id) {
   return found;
 }
 
-void ContentBasedNetwork::AccountLink(NodeId u, NodeId v, const Datagram& d) {
+void ContentBasedNetwork::AccountLink(NodeId u, NodeId v, const Datagram& d,
+                                      StreamCounters* sc) {
+  size_t size = d.SerializedSize();
   LinkStats& stats = link_stats_[DisseminationTree::EdgeKey(u, v)];
   ++stats.datagrams;
-  stats.bytes += d.SerializedSize();
-  total_bytes_ += d.SerializedSize();
+  stats.bytes += size;
+  total_bytes_ += size;
   ++total_forwards_;
+  if (metrics_ != nullptr) {
+    forwards_counter_->Increment();
+    forwarded_bytes_counter_->Add(size);
+    datagram_bytes_hist_->Observe(size);
+    sc->forwarded->Increment();
+    sc->forwarded_bytes->Add(size);
+    auto key = DisseminationTree::EdgeKey(u, v);
+    auto it = link_counters_.find(key);
+    if (it == link_counters_.end()) {
+      std::string label =
+          StrFormat("%d-%d", static_cast<int>(key.first),
+                    static_cast<int>(key.second));
+      LinkCounters lc;
+      lc.datagrams = metrics_->GetCounter("cbn.link_datagrams", "link", label);
+      lc.bytes = metrics_->GetCounter("cbn.link_bytes", "link", label);
+      it = link_counters_.emplace(key, lc).first;
+    }
+    it->second.datagrams->Increment();
+    it->second.bytes->Add(size);
+  }
 }
 
 std::vector<bool> ContentBasedNetwork::ComponentBeyondEdge(
@@ -239,12 +318,24 @@ size_t ContentBasedNetwork::Process(NodeId node, NodeId from,
   // rebuild) the surviving route to an unserved subscriber may pass through
   // already-served nodes, so a forwarding restriction would strand the
   // datagram. Served nodes merely relay; only unserved ones deliver.
+  StreamCounters* sc = metrics_ == nullptr ? nullptr : StreamMetrics(d.stream);
   size_t delivered = 0;
   if (allowed == nullptr || (*allowed)[node]) {
     delivered = routers_[node].DeliverLocal(d, projection_cache_);
     total_deliveries_ += delivered;
     if (delivered > 0) {
       Trace(TraceEvent::Kind::kDeliver, node, from, delivered, d);
+      if (sc != nullptr) {
+        deliveries_counter_->Add(delivered);
+        // Recovered datagrams are charged to recovery, never steady state.
+        (allowed == nullptr ? sc->delivered : sc->delivered_recovery)
+            ->Add(delivered);
+      }
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Instant("cbn", "deliver", node,
+                         {{"stream", Tracer::ArgString(d.stream)},
+                          {"count", std::to_string(delivered)}});
+      }
     }
   }
 
@@ -253,6 +344,7 @@ size_t ContentBasedNetwork::Process(NodeId node, NodeId from,
     std::optional<Datagram> out = routers_[node].DecideForward(
         d, neighbor, options_.early_projection, projection_cache_);
     if (!out.has_value()) continue;
+    if (sc != nullptr) matches_counter_->Increment();
     if (LinkFailed(node, neighbor)) {
       if (options_.buffer_on_failure) {
         // Hold a copy for the cut-off side; it resumes after Repair()
@@ -260,18 +352,37 @@ size_t ContentBasedNetwork::Process(NodeId node, NodeId from,
         buffered_.push_back(Buffered{
             neighbor, ComponentBeyondEdge(neighbor, node), *out});
         Trace(TraceEvent::Kind::kBuffer, node, neighbor, 0, *out);
+        if (sc != nullptr) sc->buffered->Increment();
+        if (tracer_ != nullptr && tracer_->enabled()) {
+          tracer_->Instant("cbn", "buffer", node,
+                           {{"stream", Tracer::ArgString(out->stream)}});
+        }
       } else {
         ++lost_datagrams_;
         Trace(TraceEvent::Kind::kDrop, node, neighbor, 0, *out);
+        if (sc != nullptr) sc->dropped->Increment();
+        if (tracer_ != nullptr && tracer_->enabled()) {
+          tracer_->Instant("cbn", "drop", node,
+                           {{"stream", Tracer::ArgString(out->stream)}});
+        }
       }
       continue;
     }
     if (allowed == nullptr) {
       // Flush retransmissions travel over the recovery channel and are not
       // charged to the per-link byte counters.
-      AccountLink(node, neighbor, *out);
+      AccountLink(node, neighbor, *out, sc);
+    } else if (sc != nullptr) {
+      recovery_forwards_counter_->Increment();
     }
     Trace(TraceEvent::Kind::kForward, node, neighbor, 0, *out);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      // One slice on the receiving node's row, as long as the link delay.
+      Duration dur = static_cast<Duration>(weight * kMillisecond);
+      tracer_->Complete("cbn", "hop", neighbor, tracer_->Now(), dur,
+                        {{"stream", Tracer::ArgString(out->stream)},
+                         {"from", std::to_string(node)}});
+    }
     if (sim_ != nullptr) {
       // Link weight is the delay in milliseconds.
       Duration delay = static_cast<Duration>(weight * kMillisecond);
@@ -303,6 +414,16 @@ size_t ContentBasedNetwork::Publish(NodeId node, const Datagram& datagram) {
         << "node " << node << " advertises a stream it never registered";
   }
   Trace(TraceEvent::Kind::kPublish, node, -1, 0, datagram);
+  published_bytes_by_stream_[datagram.stream] += datagram.SerializedSize();
+  if (metrics_ != nullptr) {
+    StreamCounters* sc = StreamMetrics(datagram.stream);
+    sc->published->Increment();
+    sc->published_bytes->Add(datagram.SerializedSize());
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("cbn", "publish", node,
+                     {{"stream", Tracer::ArgString(datagram.stream)}});
+  }
   return Process(node, /*from=*/-1, datagram);
 }
 
@@ -400,6 +521,13 @@ void ContentBasedNetwork::FlushBuffered() {
   buffered_.clear();
   for (auto& b : pending) {
     Trace(TraceEvent::Kind::kRecover, b.entry, -1, 0, b.datagram);
+    if (metrics_ != nullptr) {
+      StreamMetrics(b.datagram.stream)->flushed->Increment();
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant("cbn", "recover", b.entry,
+                       {{"stream", Tracer::ArgString(b.datagram.stream)}});
+    }
     Process(b.entry, /*from=*/-1, b.datagram, &b.allowed);
     ++recovered_datagrams_;
   }

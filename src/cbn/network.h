@@ -13,6 +13,8 @@
 #include "overlay/dissemination_tree.h"
 #include "overlay/graph.h"
 #include "sim/simulator.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace cosmos {
 
@@ -152,6 +154,24 @@ class ContentBasedNetwork {
   // Installs (or clears, with nullptr) the event-trace tap.
   void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
 
+  // ---- telemetry ----
+
+  // Attaches instruments: counters in `metrics` (stream-labeled families
+  // plus per-link and total counts) and Chrome-trace slices for every hop
+  // and delivery in `tracer`. Either may be nullptr (off). Handles are
+  // cached here once, so the steady-state cost per hop is plain adds.
+  void SetTelemetry(MetricsRegistry* metrics, Tracer* tracer);
+
+  // Cumulative serialized bytes published per stream, maintained even with
+  // telemetry detached — the SelfTuner's measured-rate source.
+  const std::map<std::string, uint64_t>& published_bytes_by_stream() const {
+    return published_bytes_by_stream_;
+  }
+
+  // Visits every live subscription as (subscriber node, profile).
+  void ForEachSubscription(
+      const std::function<void(NodeId, const Profile&)>& fn) const;
+
  private:
   struct Subscription {
     NodeId node = -1;
@@ -175,11 +195,32 @@ class ContentBasedNetwork {
   // already-served nodes when the repaired tree demands it.
   size_t Process(NodeId node, NodeId from, const Datagram& d,
                  const std::vector<bool>* allowed = nullptr);
+  // Cached handles of the stream-labeled counter families. Created lazily
+  // on the first datagram of each stream, then plain pointer adds.
+  struct StreamCounters {
+    Counter* published = nullptr;
+    Counter* published_bytes = nullptr;
+    Counter* delivered = nullptr;
+    Counter* delivered_recovery = nullptr;
+    Counter* buffered = nullptr;
+    Counter* flushed = nullptr;
+    Counter* dropped = nullptr;
+    Counter* forwarded = nullptr;
+    Counter* forwarded_bytes = nullptr;
+  };
+  StreamCounters* StreamMetrics(const std::string& stream);
+  struct LinkCounters {
+    Counter* datagrams = nullptr;
+    Counter* bytes = nullptr;
+  };
+  // Counts one subscription control message (and its telemetry counter).
+  void CountControl();
   // Membership of `start`'s side of the tree edge (blocked_from, start) —
   // the nodes a datagram stopped at that edge has not reached.
   std::vector<bool> ComponentBeyondEdge(NodeId start,
                                         NodeId blocked_from) const;
-  void AccountLink(NodeId u, NodeId v, const Datagram& d);
+  void AccountLink(NodeId u, NodeId v, const Datagram& d,
+                   StreamCounters* sc);
   void Trace(TraceEvent::Kind kind, NodeId node, NodeId peer, size_t count,
              const Datagram& d) const;
   bool LinkFailed(NodeId u, NodeId v) const {
@@ -215,6 +256,19 @@ class ContentBasedNetwork {
     Datagram datagram;
   };
   std::deque<Buffered> buffered_;
+
+  MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  std::map<std::string, StreamCounters> stream_counters_;
+  std::map<std::pair<NodeId, NodeId>, LinkCounters> link_counters_;
+  Counter* forwards_counter_ = nullptr;
+  Counter* forwarded_bytes_counter_ = nullptr;
+  Counter* recovery_forwards_counter_ = nullptr;
+  Counter* deliveries_counter_ = nullptr;
+  Counter* matches_counter_ = nullptr;
+  Counter* control_counter_ = nullptr;
+  Histogram* datagram_bytes_hist_ = nullptr;
+  std::map<std::string, uint64_t> published_bytes_by_stream_;
 
   std::map<std::pair<NodeId, NodeId>, LinkStats> link_stats_;
   uint64_t total_bytes_ = 0;

@@ -24,7 +24,9 @@ Processor::Processor(NodeId node, const Catalog* catalog,
       options_(options),
       grouping_(catalog, EffectiveGrouping(options), options.rates,
                 StrFormat("p%d_", node)),
-      wrapper_(catalog) {}
+      wrapper_(catalog) {
+  wrapper_.SetTelemetry(options_.metrics, options_.tracer, node_);
+}
 
 Status Processor::SubmitQuery(const std::string& query_id,
                               const std::string& cql, NodeId user_node,
@@ -39,6 +41,18 @@ Status Processor::SubmitQuery(const std::string& query_id,
 
   COSMOS_ASSIGN_OR_RETURN(GroupingEngine::AddResult placement,
                           grouping_.AddQuery(query_id, analyzed));
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->GetCounter(placement.created_new_group ? "core.groups_formed"
+                                                 : "core.group_merges")
+        ->Increment();
+    options_.metrics->GetGauge("core.merge_benefit")
+        ->Add(placement.marginal_benefit);
+    if (placement.representative_changed) {
+      options_.metrics->GetCounter("core.representative_changes")
+          ->Increment();
+    }
+  }
 
   QueryRuntime rt;
   rt.analyzed = std::move(analyzed);
@@ -100,6 +114,9 @@ Status Processor::SyncGroup(uint64_t group_id) {
     COSMOS_RETURN_IF_ERROR(UninstallGroup(rt));
     group_runtime_.erase(group_id);
     RefreshSourceSubscription();
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("core.groups_dissolved")->Increment();
+    }
     return Status::OK();
   }
 

@@ -19,6 +19,11 @@ struct ProcessorOptions {
   bool enable_merging = true;
   GroupingOptions grouping;
   RateEstimatorOptions rates;
+  // Telemetry taps (either nullptr = off): grouping counters here, tuple
+  // counters and evaluation spans on the embedded SPE. CosmosSystem fills
+  // these from its own SystemOptions when it creates processors.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 // A COSMOS processor (paper §2, Figure 2): the query layer of one node.

@@ -1,6 +1,7 @@
 #include "core/statistics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -13,10 +14,15 @@ RateMonitor::RateMonitor(Duration window) : window_(window) {
 void RateMonitor::Record(const std::string& stream, Timestamp ts,
                          size_t bytes) {
   Series& s = series_[stream];
-  s.events.emplace_back(ts, bytes);
-  s.window_bytes += bytes;
   ++s.total_tuples;
   if (s.max_ts == kInvalidTimestamp || ts > s.max_ts) s.max_ts = ts;
+  // An out-of-order record already older than the whole window would lodge
+  // behind newer entries (front pruning only removes a prefix) and inflate
+  // window stats for up to another full window: count it in the lifetime
+  // total only.
+  if (ts < s.max_ts - window_) return;
+  s.events.emplace_back(ts, bytes);
+  s.window_bytes += bytes;
   // Keep memory bounded even without rate queries.
   Prune(s, s.max_ts);
 }
@@ -78,6 +84,22 @@ size_t RateMonitor::CalibrateCatalog(Catalog& catalog, Timestamp now) const {
     if (catalog.UpdateRate(stream, rate).ok()) ++updated;
   }
   return updated;
+}
+
+double RateMonitor::MaxDriftRatio(const Catalog& catalog,
+                                  Timestamp now) const {
+  double max_drift = 0.0;
+  for (const auto& [stream, s] : series_) {
+    if (!catalog.HasStream(stream)) continue;
+    double observed = TupleRate(stream, now);
+    if (observed <= 0.0) continue;
+    auto info = catalog.Lookup(stream);
+    if (!info.ok() || info->rate_tuples_per_sec <= 0.0) continue;
+    double drift =
+        std::abs(observed / info->rate_tuples_per_sec - 1.0);
+    if (drift > max_drift) max_drift = drift;
+  }
+  return max_drift;
 }
 
 std::vector<std::string> RateMonitor::ObservedStreams() const {

@@ -46,6 +46,12 @@ class RateMonitor {
 
   std::vector<std::string> ObservedStreams() const;
 
+  // Largest relative drift |observed/estimate - 1| between observed tuple
+  // rates and the catalog's current estimates at `now` (streams the catalog
+  // does not know, or with nothing in the window, are skipped). The
+  // SelfTuner gates catalog recalibration on this.
+  double MaxDriftRatio(const Catalog& catalog, Timestamp now) const;
+
  private:
   struct Series {
     // (event time, bytes), pruned against the window lazily.

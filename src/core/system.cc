@@ -6,10 +6,20 @@ namespace cosmos {
 
 CosmosSystem::CosmosSystem(DisseminationTree tree, SystemOptions options,
                            Simulator* sim)
-    : catalog_(options.directory, tree.num_nodes()),
+    : sim_(sim),
+      catalog_(options.directory, tree.num_nodes()),
       network_(std::move(tree), options.network, sim),
       options_(options),
-      distributor_(options.distribution) {}
+      distributor_(options.distribution) {
+  network_.SetTelemetry(options_.metrics, options_.tracer);
+  if (sim_ != nullptr && options_.metrics != nullptr) {
+    sim_->SetTelemetry(options_.metrics);
+  }
+  if (sim_ != nullptr && options_.tracer != nullptr) {
+    Simulator* s = sim_;
+    options_.tracer->SetClock([s] { return s->now(); });
+  }
+}
 
 Status CosmosSystem::AddProcessor(NodeId node) {
   if (node < 0 || node >= network_.num_nodes()) {
@@ -18,9 +28,11 @@ Status CosmosSystem::AddProcessor(NodeId node) {
   if (processors_.count(node) > 0) {
     return Status::AlreadyExists(StrFormat("processor at node %d", node));
   }
+  ProcessorOptions popts = options_.processor;
+  popts.metrics = options_.metrics;
+  popts.tracer = options_.tracer;
   processors_.emplace(node, std::make_unique<Processor>(
-                                node, &catalog_, &network_,
-                                options_.processor));
+                                node, &catalog_, &network_, popts));
   distributor_.AddProcessor(node);
   return Status::OK();
 }
@@ -54,17 +66,50 @@ std::vector<Flow> CosmosSystem::CollectFlows() const {
   return flows;
 }
 
+std::vector<Flow> CosmosSystem::MeasuredFlows(
+    const std::map<std::string, uint64_t>& baseline_bytes,
+    double window_seconds) const {
+  std::vector<Flow> flows;
+  if (window_seconds <= 0.0) return flows;
+  for (const auto& [stream, total] : network_.published_bytes_by_stream()) {
+    auto bit = baseline_bytes.find(stream);
+    uint64_t before = bit == baseline_bytes.end() ? 0 : bit->second;
+    if (total <= before) continue;
+    double rate_bps = static_cast<double>(total - before) / window_seconds;
+    // Publishers come from CBN advertisements, so both source streams
+    // (advertised by RegisterSource) and representative result streams
+    // (advertised by their processor) are covered.
+    const std::set<NodeId>* publishers = network_.PublishersOf(stream);
+    if (publishers == nullptr) continue;
+    for (NodeId p : *publishers) {
+      network_.ForEachSubscription(
+          [&flows, &stream, p, rate_bps](NodeId node,
+                                         const Profile& profile) {
+            if (node == p || !profile.WantsStream(stream)) return;
+            flows.push_back(Flow{p, node, rate_bps});
+          });
+    }
+  }
+  return flows;
+}
+
 Result<OverlayOptimizer::Stats> CosmosSystem::SelfTune(
-    OptimizerOptions options) {
+    OptimizerOptions options, const std::vector<Flow>* flows) {
   if (!overlay_.has_value()) {
     return Status::FailedPrecondition("no overlay registered; SetOverlay()");
   }
+  if (options.metrics == nullptr) options.metrics = options_.metrics;
+  if (options.tracer == nullptr) options.tracer = options_.tracer;
   OverlayOptimizer optimizer(*overlay_, std::move(options));
-  std::vector<Flow> flows = CollectFlows();
+  std::vector<Flow> estimated;
+  if (flows == nullptr) {
+    estimated = CollectFlows();
+    flows = &estimated;
+  }
   OverlayOptimizer::Stats stats;
   COSMOS_ASSIGN_OR_RETURN(
       DisseminationTree improved,
-      optimizer.Optimize(network_.tree(), flows, &stats));
+      optimizer.Optimize(network_.tree(), *flows, &stats));
   if (stats.swaps_applied > 0) {
     COSMOS_RETURN_IF_ERROR(network_.RebuildTree(std::move(improved)));
   }
@@ -170,6 +215,9 @@ Result<std::string> CosmosSystem::SubmitQuery(const std::string& cql,
     return status;
   }
   query_home_[query_id] = home;
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("core.queries_submitted")->Increment();
+  }
   return query_id;
 }
 
@@ -181,6 +229,9 @@ Status CosmosSystem::RemoveQuery(const std::string& query_id) {
   COSMOS_RETURN_IF_ERROR(processors_.at(it->second)->RemoveQuery(query_id));
   (void)distributor_.Release(query_id);
   query_home_.erase(it);
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("core.queries_removed")->Increment();
+  }
   return Status::OK();
 }
 

@@ -17,6 +17,11 @@ struct SystemOptions {
   DistributionPolicy distribution = DistributionPolicy::kSignatureAffinity;
   ProcessorOptions processor;
   DirectoryMode directory = DirectoryMode::kFlooded;
+  // Telemetry taps (either nullptr = off). When set they are wired through
+  // the CBN, every processor's SPE, the simulator and optimizer runs; the
+  // tracer's clock is bound to the simulator's virtual time.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 // The COSMOS system façade (paper Figure 1): a dissemination tree of
@@ -85,10 +90,23 @@ class CosmosSystem {
   // live query population.
   std::vector<Flow> CollectFlows() const;
 
+  // Flows derived from *measured* per-stream published byte counters
+  // instead of estimator guesses: for each stream whose published bytes
+  // grew past `baseline_bytes` (a previous copy of the CBN's
+  // published_bytes_by_stream(); empty = since start), one flow per
+  // (advertised publisher -> subscriber wanting the stream) at
+  // delta_bytes / window_seconds.
+  std::vector<Flow> MeasuredFlows(
+      const std::map<std::string, uint64_t>& baseline_bytes,
+      double window_seconds) const;
+
   // Runs the overlay optimizer against the current tree and, when it finds
   // a cheaper one, rebuilds the CBN on it (all subscription state is
-  // reinstalled). Requires SetOverlay().
-  Result<OverlayOptimizer::Stats> SelfTune(OptimizerOptions options = {});
+  // reinstalled). Requires SetOverlay(). `flows` overrides the estimated
+  // CollectFlows() — the SelfTuner passes MeasuredFlows().
+  Result<OverlayOptimizer::Stats> SelfTune(
+      OptimizerOptions options = {},
+      const std::vector<Flow>* flows = nullptr);
 
   // ---- data-layer fault tolerance ----
 
@@ -106,6 +124,10 @@ class CosmosSystem {
   // when it is the only processor.
   Status FailProcessor(NodeId node);
 
+  // The attached simulator (nullptr in synchronous mode).
+  Simulator* sim() { return sim_; }
+  const SystemOptions& options() const { return options_; }
+
   // Aggregate grouping stats over all processors.
   size_t TotalQueries() const;
   size_t TotalGroups() const;
@@ -113,6 +135,7 @@ class CosmosSystem {
   double TotalRepresentativeRate() const;
 
  private:
+  Simulator* sim_ = nullptr;
   std::optional<Graph> overlay_;
   RateMonitor rate_monitor_;
   bool injection_log_enabled_ = false;

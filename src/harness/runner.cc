@@ -14,6 +14,9 @@
 #include "harness/oracle.h"
 #include "overlay/spanning_tree.h"
 #include "sim/simulator.h"
+#include "telemetry/registry.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/trace.h"
 
 namespace cosmos {
 
@@ -102,6 +105,16 @@ bool ContainedIn(const Multiset& subset, const Multiset& superset) {
   return true;
 }
 
+// Sum of a stream-labeled counter family, e.g. every cbn.dropped{stream=*}.
+uint64_t SumFamily(const MetricsRegistry& metrics, const std::string& family) {
+  const std::string prefix = family + "{";
+  uint64_t total = 0;
+  for (const auto& [name, c] : metrics.counters()) {
+    if (name.rfind(prefix, 0) == 0) total += c->value();
+  }
+  return total;
+}
+
 // Can Repair() reconnect the tree if `candidate` also fails? Mirrors the
 // splice search: overlay edges minus failed links must stay connected.
 bool RepairableAfter(const DstScenario& s, const ContentBasedNetwork& net,
@@ -141,9 +154,26 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
 
   std::unique_ptr<Simulator> sim;
   if (s.use_simulator) sim = std::make_unique<Simulator>();
-  CosmosSystem system(s.tree, SystemOptions{}, sim.get());
+  // Every run gets an isolated registry (check 5 audits it) and, on
+  // request, its own tracer for the Chrome trace export.
+  MetricsRegistry metrics;
+  Tracer tracer;
+  if (options.capture_chrome_trace) tracer.Enable();
+  SystemOptions sys_options;
+  sys_options.metrics = &metrics;
+  sys_options.tracer = options.capture_chrome_trace ? &tracer : nullptr;
+  CosmosSystem system(s.tree, sys_options, sim.get());
   system.SetOverlay(s.overlay);
   system.EnableInjectionLog();
+  auto export_artifacts = [&] {
+    if (options.capture_chrome_trace) {
+      report.chrome_trace_json = tracer.ToChromeTraceJson();
+    }
+    if (options.capture_metrics_json) {
+      report.metrics_json =
+          SnapshotToJson(TakeSnapshot(metrics, sim ? sim->now() : 0));
+    }
+  };
 
   std::deque<std::string> trace_ring;
   if (options.capture_trace) {
@@ -180,6 +210,7 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
       std::make_shared<std::map<std::string, std::vector<Tuple>>>();
   std::map<std::string, std::string> tag_to_id;  // live queries only
   std::map<std::string, std::string> id_to_tag;  // every submitted query
+  std::map<std::string, uint64_t> injected_per_stream;  // for check 5
 
   auto submit = [&](const DstQuerySpec& q) {
     Status ost = oracle.Submit(q.tag, q.cql);
@@ -244,6 +275,7 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
           break;
         }
         oracle.Inject(src.stream, tuple);
+        ++injected_per_stream[src.stream];
         ++report.tuples_injected;
         ++report.events_executed;
         break;
@@ -362,6 +394,7 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
 
   if (!report.ok) {
     report.trace.assign(trace_ring.begin(), trace_ring.end());
+    export_artifacts();
     return report;
   }
 
@@ -455,9 +488,73 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
     fail("simulator still has pending events after final drain");
   }
 
+  // ---- check 5: telemetry conservation. The run's isolated registry must
+  // balance against the harness's injection counts and the network's own
+  // accounting.
+  const ContentBasedNetwork& net = system.network();
+  for (const auto& [stream, injected] : injected_per_stream) {
+    const Counter* published = metrics.FindCounter(
+        MetricsRegistry::LabeledName("cbn.published", "stream", stream));
+    uint64_t counted = published == nullptr ? 0 : published->value();
+    if (counted != injected) {
+      fail(StrFormat(
+          "telemetry: cbn.published{stream=%s} = %llu, but the harness "
+          "injected %llu tuples",
+          stream.c_str(), static_cast<unsigned long long>(counted),
+          static_cast<unsigned long long>(injected)));
+    }
+  }
+  uint64_t dropped = SumFamily(metrics, "cbn.dropped");
+  if (dropped != report.lost_datagrams) {
+    fail(StrFormat("telemetry: %llu dropped counted vs %llu lost datagrams",
+                   static_cast<unsigned long long>(dropped),
+                   static_cast<unsigned long long>(report.lost_datagrams)));
+  }
+  uint64_t buffered = SumFamily(metrics, "cbn.buffered");
+  uint64_t flushed = SumFamily(metrics, "cbn.flushed");
+  if (buffered != flushed) {
+    fail(StrFormat(
+        "telemetry: %llu datagrams buffered but only %llu flushed back",
+        static_cast<unsigned long long>(buffered),
+        static_cast<unsigned long long>(flushed)));
+  }
+  if (flushed != report.recovered_datagrams) {
+    fail(StrFormat("telemetry: %llu flushed vs %llu recovered datagrams",
+                   static_cast<unsigned long long>(flushed),
+                   static_cast<unsigned long long>(
+                       report.recovered_datagrams)));
+  }
+  // Steady-state forward counters must equal the network's link accounting
+  // exactly: recovered datagrams travel the recovery channel
+  // (cbn.recovery_forwards) and must never be charged to link traffic.
+  const Counter* fwd = metrics.FindCounter("cbn.forwards");
+  const Counter* fwd_bytes = metrics.FindCounter("cbn.forwarded_bytes");
+  uint64_t fwd_count = fwd == nullptr ? 0 : fwd->value();
+  uint64_t fwd_byte_count = fwd_bytes == nullptr ? 0 : fwd_bytes->value();
+  if (fwd_count != net.total_datagrams_forwarded() ||
+      fwd_byte_count != net.total_bytes()) {
+    fail(StrFormat(
+        "telemetry: steady-state forwards %llu/%llu bytes disagree with "
+        "link stats %llu/%llu (recovery traffic leaked into them?)",
+        static_cast<unsigned long long>(fwd_count),
+        static_cast<unsigned long long>(fwd_byte_count),
+        static_cast<unsigned long long>(net.total_datagrams_forwarded()),
+        static_cast<unsigned long long>(net.total_bytes())));
+  }
+  uint64_t delivered_steady = SumFamily(metrics, "cbn.delivered");
+  uint64_t delivered_recovery = SumFamily(metrics, "cbn.delivered_recovery");
+  if (delivered_steady + delivered_recovery != net.total_deliveries()) {
+    fail(StrFormat(
+        "telemetry: deliveries %llu steady + %llu recovery != %llu total",
+        static_cast<unsigned long long>(delivered_steady),
+        static_cast<unsigned long long>(delivered_recovery),
+        static_cast<unsigned long long>(net.total_deliveries())));
+  }
+
   if (!report.ok) {
     report.trace.assign(trace_ring.begin(), trace_ring.end());
   }
+  export_artifacts();
   return report;
 }
 

@@ -15,6 +15,13 @@ struct DstRunOptions {
   // minimized failing scenario for the report.
   bool capture_trace = false;
   size_t trace_limit = 200;
+  // Record the whole run as Chrome trace_event JSON into
+  // DstReport::chrome_trace_json (load it in chrome://tracing or Perfetto).
+  // Costly — meant for re-runs of failing seeds.
+  bool capture_chrome_trace = false;
+  // Export the final telemetry snapshot as JSON into
+  // DstReport::metrics_json.
+  bool capture_metrics_json = false;
 };
 
 // Outcome of one scenario execution.
@@ -35,6 +42,9 @@ struct DstReport {
   size_t final_groups = 0;
 
   std::vector<std::string> trace;  // only with DstRunOptions::capture_trace
+  // Only with the corresponding DstRunOptions capture flag.
+  std::string chrome_trace_json;
+  std::string metrics_json;
 
   std::string Summary() const;
 };
@@ -49,7 +59,13 @@ struct DstReport {
 //      results are contained in its final group representative's reference
 //      results, re-presented through the member's own presentation path;
 //   4. data-layer accounting: nothing lost, nothing left buffered, no
-//      pending simulator events.
+//      pending simulator events;
+//   5. telemetry conservation: the run's isolated MetricsRegistry must
+//      agree with the network's own accounting — per-stream published
+//      counters match the injection counts, nothing dropped, every
+//      buffered datagram flushed, steady-state forward counters match the
+//      link stats (recovered datagrams are charged to recovery, never to
+//      steady-state link traffic), and deliveries balance.
 // Deterministic: the same scenario always yields the same report.
 DstReport RunScenario(const DstScenario& scenario,
                       const DstRunOptions& options = {});

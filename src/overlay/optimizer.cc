@@ -75,6 +75,12 @@ Result<DisseminationTree> OverlayOptimizer::Optimize(
   Stats local;
   local.initial_cost = current_cost;
 
+  Tracer::Span span;
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    span = options_.tracer->BeginSpan("overlay", "optimize", /*tid=*/-1);
+    span.AddArg("flows", std::to_string(flows.size()));
+  }
+
   for (int round = 0; round < options_.max_swaps; ++round) {
     double best_cost = current_cost;
     std::vector<Edge> best_edges;
@@ -131,6 +137,19 @@ Result<DisseminationTree> OverlayOptimizer::Optimize(
 
   local.final_cost = current_cost;
   if (stats != nullptr) *stats = local;
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("optimizer.runs")->Increment();
+    options_.metrics->GetCounter("optimizer.swaps")
+        ->Add(static_cast<uint64_t>(local.swaps_applied));
+    options_.metrics->GetGauge("optimizer.cost_before")
+        ->Set(local.initial_cost);
+    options_.metrics->GetGauge("optimizer.cost_after")->Set(local.final_cost);
+  }
+  if (span.active()) {
+    span.AddArg("swaps", std::to_string(local.swaps_applied));
+    span.AddArg("cost_before", std::to_string(local.initial_cost));
+    span.AddArg("cost_after", std::to_string(local.final_cost));
+  }
   return current;
 }
 

@@ -5,6 +5,8 @@
 #include <map>
 
 #include "overlay/dissemination_tree.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace cosmos {
 
@@ -28,6 +30,11 @@ struct OptimizerOptions {
   // is delay × traffic; an idle link still costs its delay so the tree stays
   // short where no traffic flows.
   std::function<double(const Edge& edge, double traffic_bps)> edge_cost;
+  // Telemetry taps: every Optimize() run records optimizer.runs/swaps
+  // counters, cost_before/after gauges and one tracer slice. Either may be
+  // nullptr (off).
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 // The overlay network optimizer (paper §3.2, refs [18,19]): monitors link

@@ -14,12 +14,29 @@ uint64_t Simulator::ScheduleAt(Timestamp when, EventQueue::Callback cb) {
   return queue_.Push(when, std::move(cb));
 }
 
+void Simulator::SetTelemetry(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    events_counter_ = nullptr;
+    queue_depth_gauge_ = nullptr;
+    now_gauge_ = nullptr;
+    return;
+  }
+  events_counter_ = registry->GetCounter("sim.events");
+  queue_depth_gauge_ = registry->GetGauge("sim.queue_depth");
+  now_gauge_ = registry->GetGauge("sim.now_us");
+}
+
 bool Simulator::Step() {
   if (queue_.Empty()) return false;
   auto [when, cb] = queue_.Pop();
   // Virtual time is monotone: the queue can never yield a past event.
   COSMOS_CHECK_GE(when, now_) << "event queue yielded a past event";
   now_ = when;
+  if (events_counter_ != nullptr) {
+    events_counter_->Increment();
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    now_gauge_->Set(static_cast<double>(now_));
+  }
   cb();
   return true;
 }

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "sim/event_queue.h"
+#include "telemetry/registry.h"
 
 namespace cosmos {
 
@@ -44,10 +45,17 @@ class Simulator {
   bool HasPendingEvents() const { return !queue_.Empty(); }
   Timestamp NextEventTime() const { return queue_.NextTime(); }
 
+  // Telemetry tap: every executed event increments sim.events and the
+  // queue-depth gauge tracks the pending count. Null (default) disables.
+  void SetTelemetry(MetricsRegistry* registry);
+
  private:
   EventQueue queue_;
   Timestamp now_ = 0;
   bool stopped_ = false;
+  Counter* events_counter_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
+  Gauge* now_gauge_ = nullptr;
 };
 
 }  // namespace cosmos

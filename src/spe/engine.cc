@@ -14,6 +14,7 @@ Status SpeEngine::InstallQuery(const std::string& id,
   COSMOS_ASSIGN_OR_RETURN(auto plan, QueryPlan::Build(query));
   plan->SetSink([this, id, sink = std::move(sink)](const Tuple& t) {
     ++results_emitted_;
+    if (results_out_counter_ != nullptr) results_out_counter_->Increment();
     if (sink) sink(id, t);
   });
   // Register distinct consumed streams (Push fans to every matching port
@@ -21,7 +22,7 @@ Status SpeEngine::InstallQuery(const std::string& id,
   std::set<std::string> streams(plan->input_streams().begin(),
                                 plan->input_streams().end());
   for (const auto& s : streams) {
-    by_stream_.emplace(s, plan.get());
+    by_stream_.emplace(s, Consumer{id, plan.get()});
   }
   plans_.emplace(id, std::move(plan));
   return Status::OK();
@@ -34,7 +35,7 @@ Status SpeEngine::RemoveQuery(const std::string& id) {
   }
   QueryPlan* plan = it->second.get();
   for (auto sit = by_stream_.begin(); sit != by_stream_.end();) {
-    if (sit->second == plan) {
+    if (sit->second.plan == plan) {
       sit = by_stream_.erase(sit);
     } else {
       ++sit;
@@ -52,10 +53,33 @@ const QueryPlan* SpeEngine::plan(const std::string& id) const {
 void SpeEngine::PushSourceTuple(const std::string& stream,
                                 const Tuple& tuple) {
   ++tuples_pushed_;
+  if (tuples_in_counter_ != nullptr) tuples_in_counter_->Increment();
   auto [begin, end] = by_stream_.equal_range(stream);
   for (auto it = begin; it != end; ++it) {
-    it->second->Push(stream, tuple);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      Tracer::Span span = tracer_->BeginSpan("spe", "eval", node_);
+      span.AddArg("query", Tracer::ArgString(it->second.id));
+      span.AddArg("stream", Tracer::ArgString(stream));
+      it->second.plan->Push(stream, tuple);
+    } else {
+      it->second.plan->Push(stream, tuple);
+    }
   }
+}
+
+void SpeEngine::SetTelemetry(MetricsRegistry* metrics, Tracer* tracer,
+                             int node) {
+  tracer_ = tracer;
+  node_ = node;
+  if (metrics == nullptr) {
+    tuples_in_counter_ = nullptr;
+    results_out_counter_ = nullptr;
+    return;
+  }
+  std::string label = StrFormat("%d", node);
+  tuples_in_counter_ = metrics->GetCounter("spe.tuples_in", "node", label);
+  results_out_counter_ =
+      metrics->GetCounter("spe.results_out", "node", label);
 }
 
 }  // namespace cosmos

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "spe/plan.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace cosmos {
 
@@ -41,12 +43,26 @@ class SpeEngine {
   uint64_t tuples_pushed() const { return tuples_pushed_; }
   uint64_t results_emitted() const { return results_emitted_; }
 
+  // Attaches instruments (either nullptr = off): node-labeled tuples-in /
+  // results-out counters plus one tracer slice per query evaluation on
+  // `node`'s row.
+  void SetTelemetry(MetricsRegistry* metrics, Tracer* tracer, int node);
+
  private:
+  struct Consumer {
+    std::string id;
+    QueryPlan* plan = nullptr;
+  };
+
   std::map<std::string, std::unique_ptr<QueryPlan>> plans_;
-  // stream -> plan ids consuming it (a plan may appear once per port).
-  std::multimap<std::string, QueryPlan*> by_stream_;
+  // stream -> queries consuming it (a plan may appear once per port).
+  std::multimap<std::string, Consumer> by_stream_;
   uint64_t tuples_pushed_ = 0;
   uint64_t results_emitted_ = 0;
+  Tracer* tracer_ = nullptr;
+  int node_ = -1;
+  Counter* tuples_in_counter_ = nullptr;
+  Counter* results_out_counter_ = nullptr;
 };
 
 }  // namespace cosmos

@@ -52,6 +52,11 @@ class NativeSpeWrapper : public SpeWrapper {
 
   const SpeEngine& engine() const { return engine_; }
 
+  // Forwards telemetry attachment to the embedded engine.
+  void SetTelemetry(MetricsRegistry* metrics, Tracer* tracer, int node) {
+    engine_.SetTelemetry(metrics, tracer, node);
+  }
+
  private:
   const Catalog* catalog_;
   SpeEngine engine_;

@@ -1,0 +1,142 @@
+#include "telemetry/snapshot.h"
+
+#include "common/string_util.h"
+#include "telemetry/trace.h"
+
+namespace cosmos {
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+double MetricsSnapshot::CounterRate(const MetricsSnapshot& earlier,
+                                    const std::string& name) const {
+  if (at <= earlier.at) return 0.0;
+  uint64_t now = CounterValue(name);
+  uint64_t before = earlier.CounterValue(name);
+  if (now <= before) return 0.0;
+  double seconds = static_cast<double>(at - earlier.at) / kSecond;
+  return static_cast<double>(now - before) / seconds;
+}
+
+MetricsSnapshot TakeSnapshot(const MetricsRegistry& registry, Timestamp at) {
+  MetricsSnapshot snap;
+  snap.at = at;
+  for (const auto& [name, c] : registry.counters()) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    snap.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    MetricsSnapshot::HistogramValue v;
+    v.count = h->count();
+    v.sum = h->sum();
+    v.max = h->max();
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->buckets()[i] > 0) {
+        v.buckets.emplace_back(Histogram::BucketUpperBound(i),
+                               h->buckets()[i]);
+      }
+    }
+    snap.histograms[name] = std::move(v);
+  }
+  return snap;
+}
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& later,
+                              const MetricsSnapshot& earlier) {
+  MetricsSnapshot delta;
+  delta.at = later.at;
+  for (const auto& [name, value] : later.counters) {
+    auto it = earlier.counters.find(name);
+    uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    delta.counters[name] = value >= before ? value - before : 0;
+  }
+  delta.gauges = later.gauges;
+  for (const auto& [name, value] : later.histograms) {
+    MetricsSnapshot::HistogramValue v = value;
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) {
+      v.count = v.count >= it->second.count ? v.count - it->second.count : 0;
+      v.sum = v.sum >= it->second.sum ? v.sum - it->second.sum : 0;
+    }
+    delta.histograms[name] = std::move(v);
+  }
+  return delta;
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out = StrFormat("{\n  \"at_us\": %lld,\n",
+                              static_cast<long long>(snapshot.at));
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += StrFormat("%s\n    %s: %llu", first ? "" : ",",
+                     Tracer::ArgString(name).c_str(),
+                     static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += StrFormat("%s\n    %s: %.17g", first ? "" : ",",
+                     Tracer::ArgString(name).c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.histograms) {
+    out += StrFormat(
+        "%s\n    %s: {\"count\": %llu, \"sum\": %llu, \"max\": %llu, "
+        "\"buckets\": [",
+        first ? "" : ",", Tracer::ArgString(name).c_str(),
+        static_cast<unsigned long long>(value.count),
+        static_cast<unsigned long long>(value.sum),
+        static_cast<unsigned long long>(value.max));
+    for (size_t i = 0; i < value.buckets.size(); ++i) {
+      out += StrFormat("%s[%llu, %llu]", i > 0 ? ", " : "",
+                       static_cast<unsigned long long>(
+                           value.buckets[i].first),
+                       static_cast<unsigned long long>(
+                           value.buckets[i].second));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+const MetricsSnapshot& SnapshotSeries::Capture(Timestamp at) {
+  snapshots_.push_back(TakeSnapshot(*registry_, at));
+  return snapshots_.back();
+}
+
+MetricsSnapshot SnapshotSeries::LatestDelta() const {
+  if (snapshots_.empty()) return MetricsSnapshot{};
+  if (snapshots_.size() == 1) return snapshots_.back();
+  return SnapshotDelta(snapshots_[snapshots_.size() - 1],
+                       snapshots_[snapshots_.size() - 2]);
+}
+
+std::string SnapshotSeries::ToJson() const {
+  std::string out = "[\n";
+  for (size_t i = 0; i < snapshots_.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += SnapshotToJson(snapshots_[i]);
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace cosmos

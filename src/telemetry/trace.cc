@@ -1,0 +1,150 @@
+#include "telemetry/trace.h"
+
+#include "common/string_util.h"
+
+namespace cosmos {
+
+Tracer& Tracer::Global() {
+  static Tracer* global = new Tracer();
+  return *global;
+}
+
+Timestamp Tracer::Now() {
+  if (clock_) return clock_();
+  return ++logical_clock_;
+}
+
+void Tracer::Instant(const char* category, std::string name, int tid) {
+  Instant(category, std::move(name), tid, {});
+}
+
+void Tracer::Instant(const char* category, std::string name, int tid,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_) return;
+  Event ev;
+  ev.phase = 'i';
+  ev.ts = Now();
+  ev.tid = tid;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::Complete(const char* category, std::string name, int tid,
+                      Timestamp ts, Duration dur) {
+  Complete(category, std::move(name), tid, ts, dur, {});
+}
+
+void Tracer::Complete(const char* category, std::string name, int tid,
+                      Timestamp ts, Duration dur,
+                      std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_) return;
+  Event ev;
+  ev.phase = 'X';
+  ev.ts = ts;
+  ev.dur = dur > 0 ? dur : 1;
+  ev.tid = tid;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+Tracer::Span Tracer::BeginSpan(const char* category, std::string name,
+                               int tid) {
+  if (!enabled_) return Span();
+  Event ev;
+  ev.phase = 'X';
+  ev.ts = Now();
+  ev.dur = -1;  // open; closed by Span::End
+  ev.tid = tid;
+  ev.name = std::move(name);
+  ev.category = category;
+  events_.push_back(std::move(ev));
+  return Span(this, events_.size() - 1);
+}
+
+void Tracer::Span::AddArg(const std::string& key,
+                          const std::string& json_value) {
+  if (tracer_ == nullptr) return;
+  tracer_->events_[index_].args.emplace_back(key, json_value);
+}
+
+void Tracer::Span::End() {
+  if (tracer_ == nullptr) return;
+  Event& ev = tracer_->events_[index_];
+  Duration dur = tracer_->Now() - ev.ts;
+  ev.dur = dur > 0 ? dur : 1;
+  tracer_ = nullptr;
+}
+
+std::string Tracer::ArgString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  logical_clock_ = 0;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrFormat("{\"name\":%s,\"cat\":%s,\"ph\":\"%c\",\"ts\":%lld",
+                     ArgString(ev.name).c_str(),
+                     ArgString(ev.category).c_str(), ev.phase,
+                     static_cast<long long>(ev.ts));
+    if (ev.phase == 'X') {
+      // A still-open span (dur -1) exports as a minimal slice.
+      long long dur = ev.dur > 0 ? static_cast<long long>(ev.dur) : 1;
+      out += StrFormat(",\"dur\":%lld", dur);
+    }
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    out += StrFormat(",\"pid\":1,\"tid\":%d", ev.tid);
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < ev.args.size(); ++i) {
+        if (i > 0) out += ',';
+        out += ArgString(ev.args[i].first);
+        out += ':';
+        out += ev.args[i].second;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace cosmos

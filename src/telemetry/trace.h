@@ -1,0 +1,123 @@
+#ifndef COSMOS_TELEMETRY_TRACE_H_
+#define COSMOS_TELEMETRY_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace cosmos {
+
+// An event tracer exporting Chrome trace_event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev). The convention across
+// COSMOS: pid 1 is the whole simulation, tid is the overlay node id, so the
+// viewer shows one row per node with datagram hops, SPE evaluations and
+// optimizer runs as slices on that node's row.
+//
+// Timestamps come from an injectable clock — CosmosSystem wires the
+// discrete-event simulator's virtual clock in, so slice positions are
+// virtual microseconds; without a clock a logical tick per recorded event
+// keeps slices ordered and non-overlapping.
+//
+// Disabled (the default) the tracer is one predicted branch per call site:
+// call sites guard on enabled() and every record method re-checks, so an
+// untraced run allocates and formats nothing.
+class Tracer {
+ public:
+  // A recorded event, pre-serialized into trace_event fields.
+  struct Event {
+    char phase = 'i';         // 'X' complete slice, 'i' instant
+    Timestamp ts = 0;         // microseconds
+    Duration dur = 0;         // 'X' only
+    int tid = 0;              // row: overlay node id (or -1 system-wide)
+    std::string name;
+    std::string category;
+    // Rendered as the `args` object: key -> already-quoted-or-numeric JSON
+    // value (use ArgString for strings, plain digits for numbers).
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+
+  // Closes its slice on destruction ('X' with dur = now - start). Inactive
+  // spans (tracer disabled) are a no-op shell.
+  class Span {
+   public:
+    Span() = default;
+    Span(Tracer* tracer, size_t index) : tracer_(tracer), index_(index) {}
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+      End();
+      tracer_ = other.tracer_;
+      index_ = other.index_;
+      other.tracer_ = nullptr;
+      return *this;
+    }
+    ~Span() { End(); }
+
+    bool active() const { return tracer_ != nullptr; }
+    // Attaches an arg to the (still open) slice.
+    void AddArg(const std::string& key, const std::string& json_value);
+    void End();
+
+   private:
+    Tracer* tracer_ = nullptr;
+    size_t index_ = 0;
+  };
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  // Virtual-time source; unset falls back to a logical tick counter.
+  void SetClock(std::function<Timestamp()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  Timestamp Now();
+
+  // Records an instant event (a point on `tid`'s row).
+  void Instant(const char* category, std::string name, int tid);
+  void Instant(const char* category, std::string name, int tid,
+               std::vector<std::pair<std::string, std::string>> args);
+
+  // Records a complete slice with an explicit duration (e.g. a datagram
+  // hop whose duration is the link delay).
+  void Complete(const char* category, std::string name, int tid,
+                Timestamp ts, Duration dur);
+  void Complete(const char* category, std::string name, int tid,
+                Timestamp ts, Duration dur,
+                std::vector<std::pair<std::string, std::string>> args);
+
+  // Opens a slice ending when the returned Span is destroyed. Zero-duration
+  // spans export with dur 1us so viewers render them.
+  Span BeginSpan(const char* category, std::string name, int tid);
+
+  // JSON-escapes and quotes `s` for use as an Event arg value.
+  static std::string ArgString(const std::string& s);
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t num_events() const { return events_.size(); }
+  void Clear();
+
+  // The full {"traceEvents": [...]} document.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  bool enabled_ = false;
+  std::function<Timestamp()> clock_;
+  Timestamp logical_clock_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace cosmos
+
+#endif  // COSMOS_TELEMETRY_TRACE_H_

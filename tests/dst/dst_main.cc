@@ -31,6 +31,9 @@ struct Flags {
   std::string repro_dir;
   bool verbose = false;
   bool print_scenario = false;
+  // Write the Chrome trace of this run to the given file (single-seed use;
+  // load the JSON in chrome://tracing or Perfetto).
+  std::string trace_out;
 };
 
 bool ParseUint64(const char* text, uint64_t* out) {
@@ -66,12 +69,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->verbose = true;
     } else if (std::strcmp(arg, "--print-scenario") == 0) {
       flags->print_scenario = true;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      flags->trace_out = arg + 12;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       std::fprintf(stderr,
                    "usage: cosmos_dst [--seed=N | --begin=N --count=K] "
                    "[--no-shrink] [--shrink-budget=N] [--repro-dir=DIR] "
-                   "[--verbose] [--print-scenario]\n");
+                   "[--trace-out=FILE] [--verbose] [--print-scenario]\n");
       return false;
     }
   }
@@ -104,6 +109,17 @@ std::string FailureText(uint64_t seed, const cosmos::DstScenario& minimized,
   return out;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,7 +133,21 @@ int main(int argc, char** argv) {
     if (flags.print_scenario) {
       std::fputs(scenario.ToString().c_str(), stdout);
     }
-    cosmos::DstReport report = cosmos::RunScenario(scenario);
+    cosmos::DstRunOptions first_run;
+    if (!flags.trace_out.empty()) {
+      first_run.capture_chrome_trace = true;
+      first_run.capture_metrics_json = true;
+    }
+    cosmos::DstReport report = cosmos::RunScenario(scenario, first_run);
+    if (!flags.trace_out.empty()) {
+      if (WriteFile(flags.trace_out, report.chrome_trace_json)) {
+        std::printf("chrome trace written to %s\n", flags.trace_out.c_str());
+      }
+      if (WriteFile(flags.trace_out + ".metrics.json", report.metrics_json)) {
+        std::printf("metrics snapshot written to %s.metrics.json\n",
+                    flags.trace_out.c_str());
+      }
+    }
     if (report.ok) {
       if (flags.verbose || flags.single_seed) {
         std::printf("seed %llu: %s\n",
@@ -134,9 +164,12 @@ int main(int argc, char** argv) {
       minimized = cosmos::ShrinkScenario(scenario, flags.shrink_budget);
       shrink_runs = flags.shrink_budget;
     }
-    // Re-run the minimized form with the CBN trace tap on for the report.
+    // Re-run the minimized form with the CBN trace tap on for the report,
+    // plus the Chrome trace and metrics snapshot for repro artifacts.
     cosmos::DstRunOptions run_options;
     run_options.capture_trace = true;
+    run_options.capture_chrome_trace = !flags.repro_dir.empty();
+    run_options.capture_metrics_json = !flags.repro_dir.empty();
     cosmos::DstReport detailed = cosmos::RunScenario(minimized, run_options);
     // Shrinking preserves *some* failure, not necessarily the same one; if
     // the minimized run somehow passes (flaky shrink predicate would be a
@@ -150,16 +183,23 @@ int main(int argc, char** argv) {
     std::fputs(text.c_str(), stdout);
 
     if (!flags.repro_dir.empty()) {
-      std::string path = flags.repro_dir +
-                         cosmos::StrFormat("/seed-%llu.txt",
+      std::string stem = flags.repro_dir +
+                         cosmos::StrFormat("/seed-%llu",
                                            static_cast<unsigned long long>(
                                                seed));
-      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-        std::fputs(text.c_str(), f);
-        std::fclose(f);
-        std::printf("repro written to %s\n", path.c_str());
-      } else {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      if (WriteFile(stem + ".txt", text)) {
+        std::printf("repro written to %s.txt\n", stem.c_str());
+      }
+      // The failing run's Chrome trace and final metrics snapshot ride
+      // along so CI can upload them as debugging artifacts.
+      if (!detailed.chrome_trace_json.empty() &&
+          WriteFile(stem + ".trace.json", detailed.chrome_trace_json)) {
+        std::printf("chrome trace written to %s.trace.json\n", stem.c_str());
+      }
+      if (!detailed.metrics_json.empty() &&
+          WriteFile(stem + ".metrics.json", detailed.metrics_json)) {
+        std::printf("metrics snapshot written to %s.metrics.json\n",
+                    stem.c_str());
       }
     }
   }

@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
+#include "core/self_tuner.h"
 #include "core/system.h"
 #include "overlay/spanning_tree.h"
 #include "overlay/topology.h"
+#include "sim/simulator.h"
 #include "stream/sensor_dataset.h"
+#include "telemetry/registry.h"
 
 namespace cosmos {
 namespace {
@@ -93,6 +97,119 @@ TEST_F(SelfTuneTest, SelfTuneNeverHurtsAndKeepsDelivering) {
   auto replay = sensors.MakeReplay();
   ASSERT_TRUE(system.Replay(*replay).ok());
   EXPECT_EQ(hits, 20);
+}
+
+TEST_F(SelfTuneTest, SelfTunerClosesTheLoopOnMeasuredRates) {
+  // A random (bad) tree, and a catalog whose rate estimates invert
+  // reality: the hottest stream is registered as the slowest.
+  Rng rng(3);
+  auto bad = DisseminationTree::FromEdges(
+                 20, *RandomSpanningTree(topo_.graph, rng))
+                 .value();
+  MetricsRegistry metrics;
+  SystemOptions options;
+  options.metrics = &metrics;
+  CosmosSystem system(std::move(bad), options);
+  system.SetOverlay(topo_.graph);
+
+  SensorDatasetOptions sopts;
+  sopts.num_stations = 4;
+  SensorDataset sensors(sopts);
+  const double kClaimedRate[] = {0.01, 0.1, 1.0, 4.0};
+  const NodeId kPublisher[] = {2, 6, 11, 17};
+  for (int k = 0; k < 4; ++k) {
+    ASSERT_TRUE(system
+                    .RegisterSource(sensors.SchemaOf(k), kClaimedRate[k],
+                                    kPublisher[k])
+                    .ok());
+  }
+  ASSERT_TRUE(system.AddProcessor(1).ok());
+  int hits = 0;
+  for (int k = 0; k < 4; ++k) {
+    ASSERT_TRUE(
+        system
+            .SubmitQuery(StrFormat(
+                             "SELECT ambient_temperature FROM sensor_%02d",
+                             k),
+                         /*user=*/19 - k,
+                         [&](const std::string&, const Tuple&) { ++hits; })
+            .ok());
+  }
+
+  // Real traffic is Zipf-skewed the *other* way: stream k carries
+  // 240/(k+1) tuples over one minute, so sensor_00 is the hot stream.
+  const size_t num_measurements =
+      SensorDataset::MeasurementAttributes().size();
+  auto publish_one = [&](int k, Timestamp ts) {
+    std::vector<Value> values;
+    values.emplace_back(static_cast<int64_t>(k));
+    for (size_t m = 0; m < num_measurements; ++m) values.emplace_back(10.0);
+    values.emplace_back(static_cast<int64_t>(ts));
+    ASSERT_TRUE(system
+                    .PublishSourceTuple(
+                        SensorDataset::StreamName(k),
+                        Tuple(sensors.SchemaOf(k), std::move(values), ts))
+                    .ok());
+  };
+  for (int k = 0; k < 4; ++k) {
+    int count = 240 / (k + 1);
+    for (int i = 0; i < count; ++i) {
+      publish_one(k, static_cast<Timestamp>(i) * kMinute / count);
+    }
+  }
+  EXPECT_GT(hits, 0);
+
+  SelfTuner tuner(&system);
+  auto round = tuner.RunOnce(kMinute);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+
+  // (a) The drift was detected and the catalog recalibrated: estimates now
+  //     match the observed Zipf reality, not the registration-time claims.
+  EXPECT_GT(round->max_drift, 1.0);
+  EXPECT_EQ(round->streams_recalibrated, 4u);
+  EXPECT_NEAR(system.catalog().Lookup("sensor_00")->rate_tuples_per_sec,
+              4.0, 0.5);
+  EXPECT_NEAR(system.catalog().Lookup("sensor_03")->rate_tuples_per_sec,
+              1.0, 0.3);
+
+  // (b) Flows came from measured bytes, (c) the optimizer found a cheaper
+  //     tree for the real load and applied it.
+  EXPECT_GT(round->flows, 0u);
+  EXPECT_TRUE(round->tree_changed);
+  EXPECT_LT(round->cost_after, round->cost_before);
+
+  // (d) The loop recorded its own actions as telemetry.
+  EXPECT_EQ(metrics.FindCounter("selftune.runs")->value(), 1u);
+  EXPECT_EQ(metrics.FindCounter("selftune.recalibrations")->value(), 4u);
+  EXPECT_GT(metrics.FindCounter("selftune.tree_changes")->value(), 0u);
+  EXPECT_GT(metrics.FindGauge("selftune.max_drift")->value(), 1.0);
+  EXPECT_LT(metrics.FindGauge("selftune.cost_after")->value(),
+            metrics.FindGauge("selftune.cost_before")->value());
+
+  // The rebuilt network still routes end-to-end.
+  int before = hits;
+  publish_one(0, kMinute + kSecond);
+  EXPECT_EQ(hits, before + 1);
+}
+
+TEST_F(SelfTuneTest, SelfTunerRunsPeriodicallyOnTheSimulator) {
+  auto tree = DisseminationTree::FromEdges(
+                  20, *MinimumSpanningTree(topo_.graph))
+                  .value();
+  Simulator sim;
+  CosmosSystem system(std::move(tree), SystemOptions{}, &sim);
+  system.SetOverlay(topo_.graph);
+  SelfTunerOptions topts;
+  topts.period = 10 * kSecond;
+  SelfTuner tuner(&system, topts);
+  tuner.Start();
+  EXPECT_TRUE(tuner.running());
+  sim.RunUntil(35 * kSecond);
+  EXPECT_EQ(tuner.rounds_run(), 3u);
+  // Stop cancels the pending round; virtual time marching on runs nothing.
+  tuner.Stop();
+  sim.RunUntil(2 * kMinute);
+  EXPECT_EQ(tuner.rounds_run(), 3u);
 }
 
 TEST_F(SelfTuneTest, FailAndRepairThroughSystem) {

@@ -57,6 +57,61 @@ TEST(RateMonitor, PerStreamIsolation) {
   EXPECT_EQ(m.ObservedStreams().size(), 2u);
 }
 
+TEST(RateMonitor, OutOfOrderNearWindowEdgeStillCounted) {
+  RateMonitor m(10 * kSecond);
+  m.Record("s", 20 * kSecond, 10);
+  // Arrives late but still inside the window ending at max_ts: counted.
+  m.Record("s", 11 * kSecond, 10);
+  EXPECT_EQ(m.WindowCount("s", 20 * kSecond), 2u);
+  EXPECT_EQ(m.TotalTuples("s"), 2u);
+}
+
+TEST(RateMonitor, OutOfOrderOlderThanWindowNeverLodges) {
+  RateMonitor m(10 * kSecond);
+  m.Record("s", 20 * kSecond, 10);
+  // Arrives late AND already outside the window: it must not join the
+  // window deque (it would sit behind the newer entry, beyond the reach of
+  // front pruning, and inflate window stats for another full window).
+  m.Record("s", 5 * kSecond, 1000);
+  EXPECT_EQ(m.WindowCount("s", 20 * kSecond), 1u);
+  EXPECT_NEAR(m.ByteRate("s", 20 * kSecond), 10.0, 1e-9);
+  // The lifetime total still counts it.
+  EXPECT_EQ(m.TotalTuples("s"), 2u);
+}
+
+TEST(RateMonitor, SpanSecondsClipsToObservedDataEarlyOn) {
+  RateMonitor m(10 * kMinute);
+  // 5 tuples over 4 seconds, queried right away: the averaging span must be
+  // the 4 observed seconds, not the 10-minute window (which would dilute
+  // the rate toward zero), and never below 1 second.
+  for (int i = 0; i < 5; ++i) m.Record("s", i * kSecond, 10);
+  EXPECT_NEAR(m.TupleRate("s", 4 * kSecond), 1.25, 0.01);
+  // A single sample at `now` spans the 1-second floor: finite rate.
+  RateMonitor single(10 * kMinute);
+  single.Record("t", 7 * kSecond, 10);
+  EXPECT_NEAR(single.TupleRate("t", 7 * kSecond), 1.0, 1e-9);
+}
+
+TEST(RateMonitor, MaxDriftRatioComparesObservedToCatalog) {
+  Catalog catalog;
+  (void)catalog.RegisterStream(
+      std::make_shared<Schema>(
+          "s", std::vector<AttributeDef>{{"x", ValueType::kInt64}}),
+      /*rate=*/1.0);
+  RateMonitor m(kMinute);
+  EXPECT_DOUBLE_EQ(m.MaxDriftRatio(catalog, 0), 0.0);
+  // Observed ~3 tuples/sec against an estimate of 1 => drift ~2.0.
+  for (int i = 0; i < 90; ++i) m.Record("s", i * kSecond / 3, 10);
+  double drift = m.MaxDriftRatio(catalog, 30 * kSecond);
+  EXPECT_NEAR(drift, 2.0, 0.2);
+  // Streams unknown to the catalog are ignored.
+  for (int i = 0; i < 50; ++i) m.Record("mystery", i * kSecond, 10);
+  EXPECT_NEAR(m.MaxDriftRatio(catalog, 30 * kSecond), drift, 1e-9);
+  // After recalibration the drift collapses.
+  EXPECT_EQ(m.CalibrateCatalog(catalog, 30 * kSecond), 1u);
+  EXPECT_LT(m.MaxDriftRatio(catalog, 30 * kSecond), 0.01);
+}
+
 TEST(RateMonitor, CalibrateCatalogWritesObservedRates) {
   Catalog catalog;
   (void)catalog.RegisterStream(

@@ -3,14 +3,21 @@
 
 The file is google-benchmark JSON produced by:
 
-    bench_micro --benchmark_filter='BM_RoutingForward' \
+    bench_micro \
+        --benchmark_filter='BM_RoutingForward|BM_ForwardWith|BM_CounterHotPath' \
         --benchmark_out=BENCH_routing.json --benchmark_out_format=json
 
-Checks that the run covers table sizes {10^2, 10^3, 10^4} for both the
-stream-partitioned index (BM_RoutingForwardIndexed) and the pre-index
-linear reference (BM_RoutingForwardLinear), each reporting a
-datagrams_per_sec counter, and that the indexed implementation at 10^4
-entries is at least MIN_SPEEDUP x the linear one measured in the same run.
+Two gates, both measured within the same run:
+
+  1. Index speedup — the run covers table sizes {10^2, 10^3, 10^4} for both
+     the stream-partitioned index (BM_RoutingForwardIndexed) and the
+     pre-index linear reference (BM_RoutingForwardLinear), each reporting a
+     datagrams_per_sec counter, and the indexed implementation at 10^4
+     entries is at least MIN_SPEEDUP x the linear one.
+  2. Telemetry overhead — publishing through an instrumented CBN
+     (BM_ForwardWithTelemetry) keeps at least MIN_TELEMETRY_RATIO of the
+     bare network's throughput (BM_ForwardWithoutTelemetry), so the
+     instruments can stay on everywhere.
 
 Usage: tools/check_bench.py [BENCH_routing.json]
 """
@@ -19,8 +26,15 @@ import json
 import sys
 
 MIN_SPEEDUP = 5.0
+# Instrumented forwarding must retain >= 95% of bare throughput.
+MIN_TELEMETRY_RATIO = 0.95
 SIZES = (100, 1000, 10000)
 IMPLS = ("Indexed", "Linear")
+TELEMETRY_BENCHES = (
+    "BM_CounterHotPath",
+    "BM_ForwardWithoutTelemetry",
+    "BM_ForwardWithTelemetry",
+)
 
 
 def main() -> int:
@@ -43,6 +57,12 @@ def main() -> int:
                 missing.append(name)
             elif "datagrams_per_sec" not in bench[name]:
                 missing.append(f"{name}:datagrams_per_sec")
+    for name in TELEMETRY_BENCHES:
+        if name not in bench:
+            missing.append(name)
+    for name in TELEMETRY_BENCHES[1:]:
+        if name in bench and "datagrams_per_sec" not in bench[name]:
+            missing.append(f"{name}:datagrams_per_sec")
     if missing:
         print(f"{path} incomplete: missing {', '.join(missing)}",
               file=sys.stderr)
@@ -57,13 +77,29 @@ def main() -> int:
     indexed = bench["BM_RoutingForwardIndexed/10000"]["datagrams_per_sec"]
     linear = bench["BM_RoutingForwardLinear/10000"]["datagrams_per_sec"]
     speedup = indexed / linear
+    ok = True
     if speedup < MIN_SPEEDUP:
         print(f"indexed forwarding at 10^4 entries is only {speedup:.1f}x "
               f"the linear baseline (need >= {MIN_SPEEDUP}x)",
               file=sys.stderr)
-        return 1
-    print(f"OK: {speedup:.1f}x >= {MIN_SPEEDUP}x at 10^4 entries")
-    return 0
+        ok = False
+    else:
+        print(f"OK: {speedup:.1f}x >= {MIN_SPEEDUP}x at 10^4 entries")
+
+    bare = bench["BM_ForwardWithoutTelemetry"]["datagrams_per_sec"]
+    instrumented = bench["BM_ForwardWithTelemetry"]["datagrams_per_sec"]
+    ratio = instrumented / bare
+    print(f"telemetry: bare {bare:>14,.0f} dg/s | instrumented "
+          f"{instrumented:>14,.0f} dg/s | {ratio:6.1%} retained")
+    if ratio < MIN_TELEMETRY_RATIO:
+        print(f"telemetry overhead too high: instrumented forwarding keeps "
+              f"only {ratio:.1%} of bare throughput "
+              f"(need >= {MIN_TELEMETRY_RATIO:.0%})", file=sys.stderr)
+        ok = False
+    else:
+        print(f"OK: telemetry keeps {ratio:.1%} >= "
+              f"{MIN_TELEMETRY_RATIO:.0%} of bare forwarding throughput")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
