@@ -3,8 +3,9 @@
 // composition, window-join throughput, CBN publish, and CBN forwarding
 // (stream-partitioned index vs the pre-index linear scan).
 //
-// The forwarding benchmarks feed BENCH_routing.json (see EXPERIMENTS.md):
-//   bench_micro --benchmark_filter='BM_RoutingForward'
+// The forwarding/matching benchmarks feed BENCH_routing.json (see
+// EXPERIMENTS.md):
+//   bench_micro --benchmark_filter='BM_RoutingForward|BM_Match'
 //       --benchmark_out=BENCH_routing.json --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
@@ -475,6 +476,99 @@ void BM_RoutingForwardLinear(benchmark::State& state) {
   ReportForwardingCounters(state, g_allocation_count.load() - allocs_before);
 }
 BENCHMARK(BM_RoutingForwardLinear)->Arg(100)->Arg(1000)->Arg(10000);
+
+// ---- compiled vs interpreted matching inside one (link, stream) bucket ----
+//
+// All range(0) profiles subscribe to the same stream — the shape the
+// stream-partitioned index cannot help with — mixing point equalities on a
+// discrete station id with narrow temperature ranges. BM_MatchCompiled is
+// the real Router::DecideForward with the compiled counting matcher (the
+// default); BM_MatchInterpreted flips the same router to the per-profile
+// interpreted walk, so one run yields the >=3x ratio tools/check_bench.py
+// gates at 10^4 profiles. The constructor runs a short warm-up so steady
+// state measures matching, not the one-off bucket compile (that tradeoff
+// is charged to the first datagram after any subscription churn).
+
+struct MatchBucketFixture {
+  static constexpr NodeId kLink = 1;
+
+  Router router{0};
+  ProjectionCache cache;
+  std::vector<Datagram> datagrams;
+
+  MatchBucketFixture(size_t num_profiles, bool compiled) {
+    router.set_compiled_matching(compiled);
+    Rng rng(7);
+    auto schema = std::make_shared<Schema>(
+        "sensor",
+        std::vector<AttributeDef>{{"station", ValueType::kInt64, 0, 499},
+                                  {"temp", ValueType::kDouble, -10, 40},
+                                  {"hum", ValueType::kDouble, 0, 100}});
+    for (size_t i = 0; i < num_profiles; ++i) {
+      Profile p;
+      ConjunctiveClause c;
+      if (i % 2 == 0) {
+        c.ConstrainEquals(
+            "station", Value(static_cast<int64_t>(rng.NextBounded(500))));
+      } else {
+        const double lo = rng.NextDouble(-10, 25);
+        c.ConstrainInterval(
+            "temp", Interval(lo, false, lo + rng.NextDouble(0.5, 3.0), false));
+      }
+      p.AddStream("sensor", {"temp"});
+      p.AddFilter(Filter("sensor", std::move(c)));
+      router.table().Add(kLink, static_cast<ProfileId>(i + 1),
+                         std::make_shared<const Profile>(std::move(p)));
+    }
+    datagrams.reserve(512);
+    for (size_t i = 0; i < 512; ++i) {
+      datagrams.push_back(
+          Datagram{"sensor",
+                   Tuple(schema,
+                         {Value(static_cast<int64_t>(rng.NextBounded(500))),
+                          Value(rng.NextDouble(-10, 40)),
+                          Value(rng.NextDouble(0, 100))},
+                         static_cast<Timestamp>(i))});
+    }
+    for (size_t i = 0; i < 8; ++i) {
+      auto out = router.DecideForward(datagrams[i], kLink,
+                                      /*early_projection=*/true, cache);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+};
+
+void BM_MatchCompiled(benchmark::State& state) {
+  MatchBucketFixture fix(static_cast<size_t>(state.range(0)),
+                         /*compiled=*/true);
+  size_t i = 0;
+  const uint64_t allocs_before = g_allocation_count.load();
+  for (auto _ : state) {
+    auto out = fix.router.DecideForward(fix.datagrams[i & 511],
+                                        MatchBucketFixture::kLink,
+                                        /*early_projection=*/true, fix.cache);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  ReportForwardingCounters(state, g_allocation_count.load() - allocs_before);
+}
+BENCHMARK(BM_MatchCompiled)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MatchInterpreted(benchmark::State& state) {
+  MatchBucketFixture fix(static_cast<size_t>(state.range(0)),
+                         /*compiled=*/false);
+  size_t i = 0;
+  const uint64_t allocs_before = g_allocation_count.load();
+  for (auto _ : state) {
+    auto out = fix.router.DecideForward(fix.datagrams[i & 511],
+                                        MatchBucketFixture::kLink,
+                                        /*early_projection=*/true, fix.cache);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  ReportForwardingCounters(state, g_allocation_count.load() - allocs_before);
+}
+BENCHMARK(BM_MatchInterpreted)->Arg(100)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace cosmos

@@ -23,6 +23,10 @@ class Filter {
   const std::string& stream() const { return stream_; }
   const ConjunctiveClause& clause() const { return clause_; }
 
+  // True when the clause carries residual conjuncts — the part the
+  // compiled matcher must hand back to the interpreted Evaluator.
+  bool has_residual() const { return clause_.has_residual(); }
+
   // "A datagram is said to be covered by a filter if the datagram is from
   // the data stream of the filter and satisfies all the constraints."
   bool Covers(const Datagram& d) const;

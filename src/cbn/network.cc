@@ -47,7 +47,10 @@ ContentBasedNetwork::ContentBasedNetwork(DisseminationTree tree,
                                          Simulator* sim)
     : tree_(std::move(tree)), options_(options), sim_(sim) {
   routers_.reserve(tree_.num_nodes());
-  for (NodeId i = 0; i < tree_.num_nodes(); ++i) routers_.emplace_back(i);
+  for (NodeId i = 0; i < tree_.num_nodes(); ++i) {
+    routers_.emplace_back(i);
+    routers_.back().set_compiled_matching(options_.compiled_matching);
+  }
 }
 
 const std::set<NodeId>* ContentBasedNetwork::PublishersOf(
@@ -62,6 +65,7 @@ void ContentBasedNetwork::SetTelemetry(MetricsRegistry* metrics,
   tracer_ = tracer;
   stream_counters_.clear();
   link_counters_.clear();
+  for (auto& r : routers_) r.SetTelemetry(metrics_);
   if (metrics_ == nullptr) {
     forwards_counter_ = nullptr;
     forwarded_bytes_counter_ = nullptr;
@@ -437,7 +441,11 @@ Status ContentBasedNetwork::FailLink(NodeId u, NodeId v) {
 
 void ContentBasedNetwork::ReinstallAllSubscriptions() {
   for (auto& r : routers_) {
+    // A fresh Router drops the matching mode and telemetry handles with the
+    // routing state; re-apply both or rebuilds would silently fall back.
     r = Router(r.id());
+    r.set_compiled_matching(options_.compiled_matching);
+    r.SetTelemetry(metrics_);
   }
   for (const auto& [id, sub] : subscriptions_) {
     routers_[sub.node].AddLocal(id, sub.profile, sub.callback);

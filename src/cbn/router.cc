@@ -1,7 +1,9 @@
 #include "cbn/router.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -53,6 +55,7 @@ void Router::AddLocal(ProfileId id, ProfilePtr profile,
   }
   local_profiles_.emplace_back(id, std::move(profile));
   local_callbacks_.push_back(std::move(callback));
+  local_matchers_.clear();
 }
 
 void Router::ReindexLocals() {
@@ -61,6 +64,56 @@ void Router::ReindexLocals() {
     for (const auto& stream : local_profiles_[i].second->streams()) {
       local_by_stream_[stream].push_back(i);
     }
+  }
+  local_matchers_.clear();
+}
+
+void Router::set_compiled_matching(bool enabled) {
+  compiled_matching_ = enabled;
+  local_matchers_.clear();
+}
+
+void Router::SetTelemetry(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    matcher_compiles_ = nullptr;
+    matcher_fallbacks_ = nullptr;
+    match_time_ns_ = nullptr;
+    return;
+  }
+  matcher_compiles_ = metrics->GetCounter("cbn.matcher_compiles");
+  matcher_fallbacks_ = metrics->GetCounter("cbn.matcher_fallbacks");
+  match_time_ns_ = metrics->GetHistogram("cbn.match_ns");
+}
+
+const CompiledMatcher& Router::LocalMatcher(
+    const std::string& stream, const std::vector<size_t>& indices) {
+  auto it = local_matchers_.find(stream);
+  if (it != local_matchers_.end()) return *it->second;
+  std::vector<const Profile*> profiles;
+  profiles.reserve(indices.size());
+  for (size_t i : indices) profiles.push_back(local_profiles_[i].second.get());
+  if (matcher_compiles_ != nullptr) matcher_compiles_->Increment();
+  return *local_matchers_
+              .emplace(stream,
+                       std::make_unique<CompiledMatcher>(stream, profiles))
+              .first->second;
+}
+
+void Router::MatchCompiled(const CompiledMatcher& m, const Datagram& d,
+                           std::vector<uint32_t>* hits) const {
+  const bool timed =
+      match_time_ns_ != nullptr && (match_sample_++ & 63) == 0;
+  std::chrono::steady_clock::time_point start;
+  if (timed) start = std::chrono::steady_clock::now();
+  m.Match(d, &matcher_scratch_, hits);
+  if (timed) {
+    match_time_ns_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  if (matcher_fallbacks_ != nullptr && matcher_scratch_.fallback_evals > 0) {
+    matcher_fallbacks_->Add(matcher_scratch_.fallback_evals);
   }
 }
 
@@ -81,6 +134,42 @@ size_t Router::DeliverLocal(const Datagram& d, ProjectionCache& cache) {
   auto it = local_by_stream_.find(d.stream);
   if (it == local_by_stream_.end()) return 0;
   size_t delivered = 0;
+  if (compiled_matching_) {
+    const CompiledMatcher& m = LocalMatcher(d.stream, it->second);
+    // Take the reusable hit buffer for the duration of the callbacks: a
+    // callback that publishes re-enters this router and must not clobber
+    // the list being delivered (it finds the member empty and regrows).
+    std::vector<uint32_t> hits;
+    std::swap(hits, local_hit_scratch_);
+    MatchCompiled(m, d, &hits);
+#ifndef NDEBUG
+    {
+      // Compiled output must equal the interpreted walk, slot by slot.
+      size_t k = 0;
+      for (size_t j = 0; j < it->second.size(); ++j) {
+        const bool interpreted = local_profiles_[it->second[j]].second->Covers(d);
+        const bool compiled = k < hits.size() && hits[k] == j;
+        COSMOS_DCHECK_EQ(compiled, interpreted)
+            << "compiled/interpreted divergence for local subscriber "
+            << local_profiles_[it->second[j]].first << " on " << d.stream;
+        if (compiled) ++k;
+      }
+    }
+#endif
+    for (uint32_t h : hits) {
+      const size_t i = it->second[h];
+      const Profile& p = *local_profiles_[i].second;
+      // Last-hop projection: the subscriber receives exactly P(stream).
+      Datagram out = cache.Project(d, p.ProjectionOf(d.stream));
+      if (local_callbacks_[i]) {
+        local_callbacks_[i](out.stream, out.tuple);
+      }
+      ++delivered;
+    }
+    hits.clear();
+    std::swap(hits, local_hit_scratch_);
+    return delivered;
+  }
   for (size_t i : it->second) {
     const Profile& p = *local_profiles_[i].second;
     if (!p.Covers(d)) continue;
@@ -100,8 +189,34 @@ std::optional<Datagram> Router::DecideForward(const Datagram& d, NodeId link,
   const RoutingTable::StreamBucket* bucket = table_.BucketFor(link, d.stream);
   if (bucket == nullptr) return std::nullopt;
   match_scratch_.clear();
-  for (const auto& slot : bucket->slots()) {
-    if (slot.profile->Covers(d)) match_scratch_.push_back(&slot);
+  const std::vector<RoutingTable::BucketSlot>& slots = bucket->slots();
+  if (compiled_matching_) {
+    const bool was_compiled = bucket->has_compiled();
+    const CompiledMatcher& m = bucket->Compiled(d.stream);
+    if (!was_compiled && matcher_compiles_ != nullptr) {
+      matcher_compiles_->Increment();
+    }
+    MatchCompiled(m, d, &hit_scratch_);
+#ifndef NDEBUG
+    {
+      // Compiled output must equal the interpreted walk, slot by slot.
+      size_t k = 0;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        const bool interpreted = slots[i].profile->Covers(d);
+        const bool compiled =
+            k < hit_scratch_.size() && hit_scratch_[k] == i;
+        COSMOS_DCHECK_EQ(compiled, interpreted)
+            << "compiled/interpreted divergence at slot " << i << " (entry "
+            << slots[i].id << ") on stream " << d.stream;
+        if (compiled) ++k;
+      }
+    }
+#endif
+    for (uint32_t h : hit_scratch_) match_scratch_.push_back(&slots[h]);
+  } else {
+    for (const auto& slot : slots) {
+      if (slot.profile->Covers(d)) match_scratch_.push_back(&slot);
+    }
   }
   if (match_scratch_.empty()) return std::nullopt;
   if (!early_projection) return d;

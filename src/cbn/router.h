@@ -3,10 +3,12 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cbn/routing_table.h"
+#include "telemetry/registry.h"
 
 namespace cosmos {
 
@@ -87,9 +89,35 @@ class Router {
                                         bool early_projection,
                                         ProjectionCache& cache) const;
 
+  // Toggles the compiled counting matcher on the hot paths (DecideForward
+  // and DeliverLocal). On by default; off falls back to the interpreted
+  // per-profile Profile::Covers walk (the --interpreted-match escape
+  // hatch). In debug builds the compiled path cross-checks the interpreted
+  // one on every decision. Toggling drops cached local matchers.
+  void set_compiled_matching(bool enabled);
+  bool compiled_matching() const { return compiled_matching_; }
+
+  // Attaches (nullptr: detaches) matcher instruments in `metrics`:
+  // cbn.matcher_compiles (bucket/local compilations), cbn.matcher_fallbacks
+  // (residual evaluations behind the counting stage) and cbn.match_ns.
+  // Handles are cached; the histogram samples every 64th match so timing
+  // cannot erode the telemetry throughput budget.
+  void SetTelemetry(MetricsRegistry* metrics);
+
  private:
   // Rebuilds local_by_stream_ after a removal shifted indices.
   void ReindexLocals();
+
+  // The compiled matcher over the local subscribers of `stream` (profile
+  // indices align with `indices`), built lazily and dropped on any local
+  // subscription change.
+  const CompiledMatcher& LocalMatcher(const std::string& stream,
+                                      const std::vector<size_t>& indices);
+
+  // Runs `m` over `d` into `*hits` with sampled timing and fallback
+  // accounting.
+  void MatchCompiled(const CompiledMatcher& m, const Datagram& d,
+                     std::vector<uint32_t>* hits) const;
 
   NodeId id_;
   RoutingTable table_;
@@ -97,9 +125,23 @@ class Router {
   std::vector<DeliveryCallback> local_callbacks_;
   // stream -> indices into local_profiles_ subscribed to it.
   std::unordered_map<std::string, std::vector<size_t>> local_by_stream_;
+  // stream -> compiled matcher over its local_by_stream_ entry.
+  std::unordered_map<std::string, std::unique_ptr<CompiledMatcher>>
+      local_matchers_;
+  bool compiled_matching_ = true;
+  Counter* matcher_compiles_ = nullptr;
+  Counter* matcher_fallbacks_ = nullptr;
+  Histogram* match_time_ns_ = nullptr;
+  mutable uint64_t match_sample_ = 0;
   // Scratch for DecideForward (single-threaded per node, like the table).
   mutable std::vector<const RoutingTable::BucketSlot*> match_scratch_;
   mutable std::vector<std::string> attr_scratch_;
+  mutable CompiledMatcher::Scratch matcher_scratch_;
+  mutable std::vector<uint32_t> hit_scratch_;
+  // DeliverLocal's hit buffer is swapped out while subscriber callbacks
+  // run: a callback that publishes re-enters matching on this router, and
+  // the nested Match must not clobber the list being delivered.
+  mutable std::vector<uint32_t> local_hit_scratch_;
 };
 
 }  // namespace cosmos

@@ -33,6 +33,17 @@ const std::vector<std::string>& RoutingTable::StreamBucket::UnionRequired(
   return union_required_;
 }
 
+const CompiledMatcher& RoutingTable::StreamBucket::Compiled(
+    const std::string& stream) const {
+  if (matcher_ == nullptr) {
+    std::vector<const Profile*> profiles;
+    profiles.reserve(slots_.size());
+    for (const auto& slot : slots_) profiles.push_back(slot.profile);
+    matcher_ = std::make_unique<CompiledMatcher>(stream, profiles);
+  }
+  return *matcher_;
+}
+
 void RoutingTable::IndexEntry(LinkState& state, ProfileId id,
                               const Profile& p) {
   for (const auto& stream : p.streams()) {
@@ -41,6 +52,7 @@ void RoutingTable::IndexEntry(LinkState& state, ProfileId id,
     std::sort(required.begin(), required.end());
     bucket.slots_.push_back(BucketSlot{id, &p, std::move(required)});
     bucket.union_dirty_ = true;
+    bucket.matcher_.reset();
   }
 }
 
@@ -61,6 +73,7 @@ void RoutingTable::DeindexEntry(LinkState& state, ProfileId id,
       state.by_stream.erase(it);
     } else {
       it->second.union_dirty_ = true;
+      it->second.matcher_.reset();
     }
   }
 }

@@ -2,10 +2,12 @@
 #define COSMOS_CBN_ROUTING_TABLE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "cbn/matcher.h"
 #include "cbn/profile.h"
 #include "overlay/graph.h"
 
@@ -50,12 +52,22 @@ class RoutingTable {
     // the returned vector is empty and must not be used for projection.
     const std::vector<std::string>& UnionRequired(bool* wants_all) const;
 
+    // The compiled counting matcher over this bucket's slots (profile
+    // indices align with slots()), built lazily on first use for `stream`
+    // and dropped by the same mutation hooks that dirty the cached union.
+    const CompiledMatcher& Compiled(const std::string& stream) const;
+
+    // Whether a compiled matcher is currently built (telemetry counts a
+    // compile when this flips to true).
+    bool has_compiled() const { return matcher_ != nullptr; }
+
    private:
     friend class RoutingTable;
     std::vector<BucketSlot> slots_;
     mutable std::vector<std::string> union_required_;
     mutable bool union_wants_all_ = false;
     mutable bool union_dirty_ = true;
+    mutable std::unique_ptr<CompiledMatcher> matcher_;
   };
 
   void Add(NodeId link, ProfileId id, ProfilePtr profile);

@@ -160,6 +160,7 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
   Tracer tracer;
   if (options.capture_chrome_trace) tracer.Enable();
   SystemOptions sys_options;
+  sys_options.network.compiled_matching = !options.interpreted_match;
   sys_options.metrics = &metrics;
   sys_options.tracer = options.capture_chrome_trace ? &tracer : nullptr;
   CosmosSystem system(s.tree, sys_options, sim.get());
@@ -212,6 +213,19 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
   std::map<std::string, std::string> id_to_tag;  // every submitted query
   std::map<std::string, uint64_t> injected_per_stream;  // for check 5
 
+  // Sticky across the whole run (a later RemoveQuery may uninstall the
+  // profile): did any installed subscription ever carry a residual-bearing
+  // filter? Check 5 allows cbn.matcher_fallbacks > 0 only in that case.
+  bool saw_residual_profile = false;
+  auto note_residual_profiles = [&] {
+    if (saw_residual_profile) return;
+    system.network().ForEachSubscription([&](NodeId, const Profile& p) {
+      for (const Filter& f : p.filters()) {
+        if (f.has_residual()) saw_residual_profile = true;
+      }
+    });
+  };
+
   auto submit = [&](const DstQuerySpec& q) {
     Status ost = oracle.Submit(q.tag, q.cql);
     if (!ost.ok()) {
@@ -232,6 +246,7 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
     tag_to_id[tag] = *id;
     id_to_tag[*id] = tag;
     ++report.queries_submitted;
+    note_residual_profiles();
   };
 
   // Runs the simulator dry (synchronous mode delivers inline; no-op).
@@ -549,6 +564,27 @@ DstReport RunScenario(const DstScenario& s, const DstRunOptions& options) {
         static_cast<unsigned long long>(delivered_steady),
         static_cast<unsigned long long>(delivered_recovery),
         static_cast<unsigned long long>(net.total_deliveries())));
+  }
+  // Matching-engine conservation: the interpreted escape hatch must never
+  // touch the compiled machinery, and residual fallbacks may only occur
+  // when some installed profile actually carried a residual-bearing filter.
+  const Counter* compiles = metrics.FindCounter("cbn.matcher_compiles");
+  const Counter* fallbacks = metrics.FindCounter("cbn.matcher_fallbacks");
+  uint64_t compile_count = compiles == nullptr ? 0 : compiles->value();
+  uint64_t fallback_count = fallbacks == nullptr ? 0 : fallbacks->value();
+  if (options.interpreted_match) {
+    if (compile_count != 0 || fallback_count != 0) {
+      fail(StrFormat(
+          "telemetry: interpreted-match run still compiled %llu matchers "
+          "and took %llu residual fallbacks",
+          static_cast<unsigned long long>(compile_count),
+          static_cast<unsigned long long>(fallback_count)));
+    }
+  } else if (fallback_count > 0 && !saw_residual_profile) {
+    fail(StrFormat(
+        "telemetry: cbn.matcher_fallbacks = %llu but no residual-bearing "
+        "profile was ever installed",
+        static_cast<unsigned long long>(fallback_count)));
   }
 
   if (!report.ok) {

@@ -34,6 +34,10 @@ struct Flags {
   // Write the Chrome trace of this run to the given file (single-seed use;
   // load the JSON in chrome://tracing or Perfetto).
   std::string trace_out;
+  // Escape hatch: run the CBN with the interpreted per-profile matching
+  // walk instead of the compiled counting matcher. Deliveries must be
+  // identical; the nightly sweep runs a seed slice in each mode and diffs.
+  bool interpreted_match = false;
 };
 
 bool ParseUint64(const char* text, uint64_t* out) {
@@ -71,12 +75,15 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->print_scenario = true;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       flags->trace_out = arg + 12;
+    } else if (std::strcmp(arg, "--interpreted-match") == 0) {
+      flags->interpreted_match = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       std::fprintf(stderr,
                    "usage: cosmos_dst [--seed=N | --begin=N --count=K] "
                    "[--no-shrink] [--shrink-budget=N] [--repro-dir=DIR] "
-                   "[--trace-out=FILE] [--verbose] [--print-scenario]\n");
+                   "[--trace-out=FILE] [--interpreted-match] [--verbose] "
+                   "[--print-scenario]\n");
       return false;
     }
   }
@@ -134,6 +141,7 @@ int main(int argc, char** argv) {
       std::fputs(scenario.ToString().c_str(), stdout);
     }
     cosmos::DstRunOptions first_run;
+    first_run.interpreted_match = flags.interpreted_match;
     if (!flags.trace_out.empty()) {
       first_run.capture_chrome_trace = true;
       first_run.capture_metrics_json = true;
@@ -161,12 +169,21 @@ int main(int argc, char** argv) {
     cosmos::DstScenario minimized = scenario;
     size_t shrink_runs = 0;
     if (flags.shrink) {
-      minimized = cosmos::ShrinkScenario(scenario, flags.shrink_budget);
+      // Shrink under the same match mode the failure was found in.
+      cosmos::DstRunOptions shrink_opts;
+      shrink_opts.interpreted_match = flags.interpreted_match;
+      minimized = cosmos::ShrinkScenario(
+          scenario,
+          [&shrink_opts](const cosmos::DstScenario& candidate) {
+            return !cosmos::RunScenario(candidate, shrink_opts).ok;
+          },
+          flags.shrink_budget);
       shrink_runs = flags.shrink_budget;
     }
     // Re-run the minimized form with the CBN trace tap on for the report,
     // plus the Chrome trace and metrics snapshot for repro artifacts.
     cosmos::DstRunOptions run_options;
+    run_options.interpreted_match = flags.interpreted_match;
     run_options.capture_trace = true;
     run_options.capture_chrome_trace = !flags.repro_dir.empty();
     run_options.capture_metrics_json = !flags.repro_dir.empty();

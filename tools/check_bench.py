@@ -4,17 +4,23 @@
 The file is google-benchmark JSON produced by:
 
     bench_micro \
-        --benchmark_filter='BM_RoutingForward|BM_ForwardWith|BM_CounterHotPath' \
+        --benchmark_filter='BM_RoutingForward|BM_ForwardWith|BM_CounterHotPath|BM_Match' \
         --benchmark_out=BENCH_routing.json --benchmark_out_format=json
 
-Two gates, both measured within the same run:
+Three gates, all measured within the same run:
 
   1. Index speedup — the run covers table sizes {10^2, 10^3, 10^4} for both
      the stream-partitioned index (BM_RoutingForwardIndexed) and the
      pre-index linear reference (BM_RoutingForwardLinear), each reporting a
      datagrams_per_sec counter, and the indexed implementation at 10^4
-     entries is at least MIN_SPEEDUP x the linear one.
-  2. Telemetry overhead — publishing through an instrumented CBN
+     entries is at least MIN_SPEEDUP x the linear one. BM_RoutingForwardIndexed
+     runs whatever Router defaults to (now the compiled matcher), so a
+     matcher regression that slowed real forwarding would trip this gate too.
+  2. Match-engine speedup — within one (link, stream) bucket, the compiled
+     counting matcher (BM_MatchCompiled) is at least MIN_MATCH_SPEEDUP x
+     the interpreted per-profile walk (BM_MatchInterpreted) at 10^4
+     profiles, sizes {10^2, 10^3, 10^4} all present.
+  3. Telemetry overhead — publishing through an instrumented CBN
      (BM_ForwardWithTelemetry) keeps at least MIN_TELEMETRY_RATIO of the
      bare network's throughput (BM_ForwardWithoutTelemetry), so the
      instruments can stay on everywhere.
@@ -26,10 +32,13 @@ import json
 import sys
 
 MIN_SPEEDUP = 5.0
+# Compiled matching must beat the interpreted walk >= 3x at 10^4 profiles.
+MIN_MATCH_SPEEDUP = 3.0
 # Instrumented forwarding must retain >= 95% of bare throughput.
 MIN_TELEMETRY_RATIO = 0.95
 SIZES = (100, 1000, 10000)
 IMPLS = ("Indexed", "Linear")
+MATCH_IMPLS = ("Compiled", "Interpreted")
 TELEMETRY_BENCHES = (
     "BM_CounterHotPath",
     "BM_ForwardWithoutTelemetry",
@@ -53,6 +62,13 @@ def main() -> int:
     for impl in IMPLS:
         for n in SIZES:
             name = f"BM_RoutingForward{impl}/{n}"
+            if name not in bench:
+                missing.append(name)
+            elif "datagrams_per_sec" not in bench[name]:
+                missing.append(f"{name}:datagrams_per_sec")
+    for impl in MATCH_IMPLS:
+        for n in SIZES:
+            name = f"BM_Match{impl}/{n}"
             if name not in bench:
                 missing.append(name)
             elif "datagrams_per_sec" not in bench[name]:
@@ -85,6 +101,25 @@ def main() -> int:
         ok = False
     else:
         print(f"OK: {speedup:.1f}x >= {MIN_SPEEDUP}x at 10^4 entries")
+
+    for n in SIZES:
+        compiled = bench[f"BM_MatchCompiled/{n}"]["datagrams_per_sec"]
+        interp = bench[f"BM_MatchInterpreted/{n}"]["datagrams_per_sec"]
+        print(f"bucket size {n:>6}: compiled {compiled:>14,.0f} dg/s | "
+              f"interpreted {interp:>14,.0f} dg/s | "
+              f"{compiled / interp:5.1f}x")
+
+    compiled = bench["BM_MatchCompiled/10000"]["datagrams_per_sec"]
+    interp = bench["BM_MatchInterpreted/10000"]["datagrams_per_sec"]
+    match_speedup = compiled / interp
+    if match_speedup < MIN_MATCH_SPEEDUP:
+        print(f"compiled matching at 10^4 profiles is only "
+              f"{match_speedup:.1f}x the interpreted walk "
+              f"(need >= {MIN_MATCH_SPEEDUP}x)", file=sys.stderr)
+        ok = False
+    else:
+        print(f"OK: {match_speedup:.1f}x >= {MIN_MATCH_SPEEDUP}x at 10^4 "
+              "profiles per bucket")
 
     bare = bench["BM_ForwardWithoutTelemetry"]["datagrams_per_sec"]
     instrumented = bench["BM_ForwardWithTelemetry"]["datagrams_per_sec"]
